@@ -1,0 +1,20 @@
+"""Benchmark configuration: one round per experiment (simulations are
+deterministic, variance across rounds is zero by construction)."""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and attach its result."""
+
+    def run(fn, *args, **kwargs):
+        out = {}
+
+        def wrapper():
+            out["result"] = fn(*args, **kwargs)
+
+        benchmark.pedantic(wrapper, rounds=1, iterations=1)
+        return out["result"]
+
+    return run

@@ -1,0 +1,16 @@
+"""Ablation (beyond the paper): chain release vs hold-till-commit.
+
+The paper attributes part of AEON's TPC-C advantage to releasing the
+Warehouse as soon as the transaction continues downward asynchronously
+(§6.1.2).  This bench quantifies that design choice.
+"""
+
+from repro.harness.experiments import ablation_chain_release, render
+
+
+def test_ablation_chain_release(once):
+    data = once(ablation_chain_release, scale="quick")
+    print("\n" + render("ablation", data))
+    # Chain release pipelines the WH -> District -> Customer chain and
+    # must outperform strict hold-till-commit significantly.
+    assert data["chain-release"] > 1.3 * data["hold-till-commit"]

@@ -1,0 +1,20 @@
+"""Fig. 5a — game scale-out: throughput vs servers, all five systems."""
+
+from repro.harness.experiments import fig5a, render
+
+
+def test_fig5a_game_scaleout(once):
+    data = once(fig5a, scale="quick")
+    print("\n" + render("fig5a", data))
+    at_max = {system: curve[-1][1] for system, curve in data.items()}
+    # EventWave plateaus at its root sequencer: adding servers beyond the
+    # knee must not help materially.
+    ew = dict(data["eventwave"])
+    servers = sorted(ew)
+    assert ew[servers[-1]] < ew[servers[0]] * 2.5
+    # Paper ordering at the largest scale: AEON > AEON_SO > EventWave,
+    # Orleans* between AEON_SO-ish and EventWave, Orleans near the bottom.
+    assert at_max["aeon"] > at_max["aeon_so"] > at_max["eventwave"]
+    assert at_max["aeon"] > 2.0 * at_max["eventwave"]
+    assert at_max["orleans_star"] > at_max["orleans"]
+    assert at_max["aeon"] > at_max["orleans_star"]

@@ -1,0 +1,21 @@
+"""Fig. 5b — game latency vs throughput at 8 servers."""
+
+from repro.harness.experiments import fig5b, render
+
+
+def test_fig5b_game_performance(once):
+    data = once(fig5b, scale="quick")
+    print("\n" + render("fig5b", data))
+    # Latency is flat at low load and explodes past saturation; AEON
+    # sustains the highest throughput at bounded latency.
+    def max_thr_under(system, latency_cap):
+        return max(
+            (thr for thr, lat in data[system] if lat <= latency_cap), default=0.0
+        )
+
+    cap = 40.0
+    assert max_thr_under("aeon", cap) > max_thr_under("eventwave", cap)
+    assert max_thr_under("aeon", cap) > max_thr_under("orleans", cap)
+    # EventWave's latency skyrockets once the root saturates.
+    ew_latencies = [lat for _thr, lat in data["eventwave"]]
+    assert max(ew_latencies) > 3 * min(ew_latencies)

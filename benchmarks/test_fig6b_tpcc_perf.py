@@ -1,0 +1,18 @@
+"""Fig. 6b — TPC-C latency vs throughput at 8 servers."""
+
+from repro.harness.experiments import fig6b, render
+
+
+def test_fig6b_tpcc_performance(once):
+    data = once(fig6b, scale="quick")
+    print("\n" + render("fig6b", data))
+    # EventWave and Orleans saturate with few clients: their latency at
+    # the end of the sweep is an order of magnitude above the start.
+    for system in ("eventwave", "orleans"):
+        lats = [lat for _thr, lat in data[system]]
+        assert lats[-1] > 5 * lats[0], system
+    # Orleans* sustains more throughput than AEON (its best-case, no
+    # strict serializability), per the paper.
+    max_star = max(thr for thr, _lat in data["orleans_star"])
+    max_aeon = max(thr for thr, _lat in data["aeon"])
+    assert max_star > 0.9 * max_aeon

@@ -1,0 +1,17 @@
+"""Fig. 9 — eManager max migration throughput by instance type/size."""
+
+from repro.harness.experiments import fig9, render
+
+
+def test_fig9_emanager_throughput(once):
+    data = once(fig9, scale="quick")
+    print("\n" + render("fig9", data))
+    # Larger instances move more contexts per second...
+    assert data["m1.large"]["1KB"] > data["m1.medium"]["1KB"] > data["m1.small"]["1KB"]
+    assert data["m1.large"]["1MB"] > data["m1.medium"]["1MB"] >= data["m1.small"]["1MB"]
+    # ...and big contexts migrate slower than small ones everywhere.
+    for itype, sizes in data.items():
+        assert sizes["1KB"] > sizes["1MB"], itype
+    # Shape vs paper (90/40 on m1.large => ratio ~2.25 +- generous band).
+    ratio = data["m1.large"]["1KB"] / data["m1.large"]["1MB"]
+    assert 1.5 < ratio < 4.0

@@ -1,0 +1,19 @@
+"""Table 1 — % requests over the SLA and average servers per setup."""
+
+from repro.harness.experiments import table1, render
+
+
+def test_table1_sla_cost(once):
+    rows = once(table1, scale="quick")
+    print("\n" + render("table1", rows))
+    by_setup = {row["setup"]: row for row in rows}
+    # Violations decrease monotonically with fleet size.
+    v8 = by_setup["8-server"]["violation_pct"]
+    v16 = by_setup["16-server"]["violation_pct"]
+    v32 = by_setup["32-server"]["violation_pct"]
+    assert v8 >= v16 >= v32
+    # The elastic setup approaches the 32-server SLA compliance with a
+    # significantly smaller average fleet (the paper: 21.4 vs 32).
+    elastic = by_setup["Elastic"]
+    assert elastic["avg_servers"] < 32
+    assert elastic["violation_pct"] < v8

@@ -1,0 +1,21 @@
+"""repro: a reproduction of "Programming Scalable Cloud Services with AEON".
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event simulation substrate (servers, network).
+``repro.core``
+    The AEON programming model and execution protocol.
+``repro.elasticity``
+    The eManager: context mapping, elasticity policies, migration.
+``repro.baselines``
+    EventWave and Orleans runtime models used as comparison baselines.
+``repro.apps``
+    The game application and the TPC-C benchmark.
+``repro.workloads``
+    Client/workload generators and SLA accounting.
+``repro.harness``
+    Experiment drivers regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,13 @@
+"""Applications: the multiplayer game and the TPC-C benchmark."""
+
+from .game import Building, GameApp, GameConfig, Item, Player, Room, build_game
+
+__all__ = [
+    "Building",
+    "GameApp",
+    "GameConfig",
+    "Item",
+    "Player",
+    "Room",
+    "build_game",
+]

@@ -1,0 +1,18 @@
+"""TPC-C: schema, loader and workload (§6.1.2)."""
+
+from .loader import TpccConfig, TpccDeployment, build_tpcc
+from .schema import Customer, District, Order, TpccWork, Warehouse, DEFAULT_WORK
+from .workload import TpccWorkload
+
+__all__ = [
+    "Customer",
+    "DEFAULT_WORK",
+    "District",
+    "Order",
+    "TpccConfig",
+    "TpccDeployment",
+    "TpccWork",
+    "TpccWorkload",
+    "Warehouse",
+    "build_tpcc",
+]

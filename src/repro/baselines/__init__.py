@@ -1,0 +1,17 @@
+"""Baseline runtime models the paper compares AEON against.
+
+* :class:`EventWaveRuntime` — tree of contexts, total order at the root.
+* :class:`OrleansRuntime` — single-threaded non-reentrant grains,
+  no cross-grain atomicity (the "Orleans" vs "Orleans*" distinction is
+  made in the application wiring, not the runtime).
+"""
+
+from .eventwave import EventWaveRuntime, SingleOwnershipError
+from .orleans import OrleansDeadlockError, OrleansRuntime
+
+__all__ = [
+    "EventWaveRuntime",
+    "OrleansDeadlockError",
+    "OrleansRuntime",
+    "SingleOwnershipError",
+]

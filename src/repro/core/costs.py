@@ -1,0 +1,51 @@
+"""Calibration constants shared by every runtime.
+
+One cost model is used for all systems so that the figures compare
+protocol structure, not tuning.  The only per-system knobs are the ones
+the paper itself names: EventWave's root sequencing work, Orleans'
+managed-runtime overhead (C# vs C++, §6.1.1 point 1), and Orleans' lack
+of placement rules (§6.1.1 point 2 — modeled as hash placement instead of
+AEON's co-location).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """CPU / message-size constants (CPU in unit-work ms; see Server)."""
+
+    #: Handling an incoming request/message on a server (dispatch, decode).
+    route_cpu_ms: float = 0.015
+    #: Lock bookkeeping per context activation (ACT handling).
+    lock_cpu_ms: float = 0.004
+    #: Sender-side work per cross-server message (serialization etc.);
+    #: this is what makes AEON's co-location placement pay off (§6.1.1).
+    net_cpu_ms: float = 0.25
+    #: Default method-body execution work (unless ``@cost`` overrides).
+    method_cpu_ms: float = 0.040
+    #: Client request / reply message size.
+    client_msg_bytes: int = 512
+    #: Protocol message (ACT / EXEC / release) size.
+    proto_msg_bytes: int = 128
+    #: EventWave: sequencing work at the root per event (the bottleneck).
+    eventwave_root_cpu_ms: float = 0.450
+    #: EventWave: forwarding work per tree hop while routing to the target.
+    eventwave_forward_cpu_ms: float = 0.010
+    #: Orleans: managed-runtime multiplier applied to all CPU work.
+    orleans_overhead: float = 1.40
+    #: AEON: release lock at target/dominator as soon as only async
+    #: continuations remain (chain release; §6.1.2 "releases the
+    #: Warehouse context").  Disable for the ablation benchmark.
+    early_release: bool = True
+
+    def with_(self, **changes: object) -> "CostModel":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,41 @@
+"""Exception taxonomy for the AEON core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "AeonError",
+    "OwnershipCycleError",
+    "StaticAnalysisError",
+    "UnknownContextError",
+    "OwnershipViolationError",
+    "ReadOnlyViolationError",
+    "MigrationError",
+]
+
+
+class AeonError(Exception):
+    """Base class for all AEON-specific errors."""
+
+
+class OwnershipCycleError(AeonError):
+    """Adding an ownership edge would create a cycle in the context DAG."""
+
+
+class StaticAnalysisError(AeonError):
+    """The contextclass constraint graph (C1 <= C0) contains a cycle."""
+
+
+class UnknownContextError(AeonError):
+    """An operation referenced a context id that does not exist."""
+
+
+class OwnershipViolationError(AeonError):
+    """A method call targeted a context the caller does not (transitively) own."""
+
+
+class ReadOnlyViolationError(AeonError):
+    """A readonly method attempted a state-modifying operation."""
+
+
+class MigrationError(AeonError):
+    """A context migration could not be carried out consistently."""

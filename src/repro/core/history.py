@@ -1,0 +1,202 @@
+"""Execution recording and the strict-serializability checker.
+
+Runtimes (when created with ``record_history=True``) record, for every
+committed event, the versions it read and wrote per context.  The checker
+then builds the conflict precedence graph:
+
+* write→write / write→read / read→write orderings derived from context
+  version counters,
+
+and verifies
+
+1. **Serializability** — the conflict graph is acyclic;
+2. **Strictness (real-time order)** — no conflict edge points from an
+   event to one that *committed before the first started* (a successor in
+   the serial order that finished before its predecessor began would
+   contradict the temporal ordering the paper guarantees).
+
+The second check is the standard sound approximation for locking
+protocols: any strict-serializability violation produced by mis-ordered
+conflicting events shows up as such a backward edge.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["CommittedEvent", "HistoryRecorder", "SerializabilityViolation"]
+
+
+class SerializabilityViolation(AssertionError):
+    """Raised by :meth:`HistoryRecorder.check` on a detected violation."""
+
+
+@dataclass(frozen=True)
+class CommittedEvent:
+    """An immutable record of one committed event."""
+
+    eid: int
+    tag: str
+    submitted_ms: float
+    committed_ms: float
+    reads: Dict[str, int]
+    writes: Dict[str, int]
+
+
+class HistoryRecorder:
+    """Accumulates committed events and checks strict serializability."""
+
+    def __init__(self) -> None:
+        self.events: List[CommittedEvent] = []
+
+    def commit(
+        self,
+        eid: int,
+        tag: str,
+        submitted_ms: float,
+        committed_ms: float,
+        reads: Dict[str, int],
+        writes: Dict[str, int],
+    ) -> None:
+        """Record one committed event (called by runtimes)."""
+        self.events.append(
+            CommittedEvent(eid, tag, submitted_ms, committed_ms, dict(reads), dict(writes))
+        )
+
+    # ------------------------------------------------------------------
+    # Conflict graph construction
+    # ------------------------------------------------------------------
+    def conflict_edges(self) -> Set[Tuple[int, int]]:
+        """Precedence edges (eid_a -> eid_b) implied by version conflicts.
+
+        Per context: the writer of version v precedes the writer of any
+        later version; a reader of version v follows its writer and
+        precedes the writer of version v+1.
+        """
+        edges: Set[Tuple[int, int]] = set()
+        writers: Dict[str, Dict[int, int]] = defaultdict(dict)  # cid -> version -> eid
+        readers: Dict[str, Dict[int, List[int]]] = defaultdict(lambda: defaultdict(list))
+        for event in self.events:
+            for cid, version in event.writes.items():
+                writers[cid][version] = event.eid
+            for cid, version in event.reads.items():
+                readers[cid][version].append(event.eid)
+        for cid, by_version in writers.items():
+            ordered_versions = sorted(by_version)
+            for earlier, later in zip(ordered_versions, ordered_versions[1:]):
+                if by_version[earlier] != by_version[later]:
+                    edges.add((by_version[earlier], by_version[later]))
+            for version, writer_eid in by_version.items():
+                # Readers of version v-1 (the state before this write)
+                # precede the writer; readers of v follow it.
+                for reader_eid in readers[cid].get(version - 1, ()):
+                    if reader_eid != writer_eid:
+                        edges.add((reader_eid, writer_eid))
+                for reader_eid in readers[cid].get(version, ()):
+                    if reader_eid != writer_eid:
+                        edges.add((writer_eid, reader_eid))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Raise :class:`SerializabilityViolation` if the history is bad."""
+        edges = self.conflict_edges()
+        cycle = _find_cycle(edges)
+        if cycle is not None:
+            raise SerializabilityViolation(
+                f"conflict cycle among events: {cycle}"
+            )
+        started = {e.eid: e.submitted_ms for e in self.events}
+        committed = {e.eid: e.committed_ms for e in self.events}
+        for src, dst in edges:
+            if src in committed and dst in started:
+                if committed[dst] < started[src]:
+                    raise SerializabilityViolation(
+                        f"real-time order violated: event {src} precedes {dst} "
+                        f"in the serial order but {dst} committed at "
+                        f"{committed[dst]:.3f}ms before {src} started at "
+                        f"{started[src]:.3f}ms"
+                    )
+
+    def is_strictly_serializable(self) -> bool:
+        """Boolean form of :meth:`check`."""
+        try:
+            self.check()
+        except SerializabilityViolation:
+            return False
+        return True
+
+    def serial_order(self) -> Optional[List[int]]:
+        """A topological order of the conflict graph (None if cyclic)."""
+        edges = self.conflict_edges()
+        nodes = {e.eid for e in self.events}
+        out: Dict[int, Set[int]] = defaultdict(set)
+        indeg: Dict[int, int] = {n: 0 for n in nodes}
+        for src, dst in edges:
+            if dst not in out[src]:
+                out[src].add(dst)
+                indeg[dst] = indeg.get(dst, 0) + 1
+        # Prefer commit-time order among available nodes (deterministic
+        # and consistent with strictness when the history is valid).
+        commit_of = {e.eid: e.committed_ms for e in self.events}
+        available = sorted(
+            (n for n in nodes if indeg[n] == 0), key=lambda n: commit_of.get(n, 0.0)
+        )
+        order: List[int] = []
+        import heapq
+
+        heap = [(commit_of.get(n, 0.0), n) for n in available]
+        heapq.heapify(heap)
+        while heap:
+            _, node = heapq.heappop(heap)
+            order.append(node)
+            for succ in sorted(out[node]):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    heapq.heappush(heap, (commit_of.get(succ, 0.0), succ))
+        if len(order) != len(nodes):
+            return None
+        return order
+
+
+def _find_cycle(edges: Set[Tuple[int, int]]) -> Optional[List[int]]:
+    """Return one cycle in the directed graph, or None (iterative DFS)."""
+    out: Dict[int, List[int]] = defaultdict(list)
+    nodes: Set[int] = set()
+    for src, dst in edges:
+        out[src].append(dst)
+        nodes.add(src)
+        nodes.add(dst)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in nodes}
+    parent: Dict[int, int] = {}
+    for start in nodes:
+        if color[start] != WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(start, 0)]
+        color[start] = GRAY
+        while stack:
+            node, idx = stack[-1]
+            if idx < len(out[node]):
+                stack[-1] = (node, idx + 1)
+                succ = out[node][idx]
+                if color[succ] == GRAY:
+                    cycle = [succ, node]
+                    walker = node
+                    while walker != succ and walker in parent:
+                        walker = parent[walker]
+                        cycle.append(walker)
+                    cycle.reverse()
+                    return cycle
+                if color[succ] == WHITE:
+                    color[succ] = GRAY
+                    parent[succ] = node
+                    stack.append((succ, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return None

@@ -1,0 +1,130 @@
+"""Per-context lock state: Algorithm 1's queues and activated set.
+
+Every context carries (Algorithm 1):
+
+* ``toActivateQueue`` — FIFO of events waiting to lock the context;
+* ``activatedSet`` — events currently holding the context (several
+  read-only events, or exactly one exclusive event).
+
+:class:`ContextLock` implements the admission rule of Algorithm 2's
+``dispatchEvent`` task: the head of the queue is admitted when it is
+read-only and no exclusive holder is active, or when the activated set is
+empty.  Strict FIFO admission (only the head may enter) is what provides
+the paper's starvation freedom — a stream of read-only events cannot
+overtake a queued exclusive event forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..sim.kernel import Signal, Simulator
+from .events import AccessMode, Event
+
+__all__ = ["ContextLock"]
+
+
+class ContextLock:
+    """Read/write lock with FIFO admission for one context."""
+
+    def __init__(self, sim: Simulator, cid: str) -> None:
+        self.sim = sim
+        self.cid = cid
+        # eid -> mode of events currently holding the context.
+        self.activated: Dict[int, AccessMode] = {}
+        self._queue: Deque[Tuple[Event, Signal]] = deque()
+        self._pending: Dict[int, Signal] = {}
+        # Counters exposed to tests and the elasticity manager.
+        self.total_acquisitions = 0
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def request(self, event: Event) -> Tuple[Signal, bool]:
+        """Enqueue ``event`` for activation (reserve a FIFO position).
+
+        Returns ``(grant, owned)``: ``grant`` fires when the event is
+        admitted; ``owned`` is True only for the call that created the
+        hold/reservation — exactly one branch of an event owns (and
+        therefore releases) each lock.  Re-requesting while held or
+        queued returns the existing grant with ``owned=False``, so
+        re-entrant calls within one event never self-deadlock.
+        """
+        if event.eid in self.activated:
+            return self.sim.signal(name=f"lock:{self.cid}").succeed(None), False
+        pending = self._pending.get(event.eid)
+        if pending is not None:
+            return pending, False
+        grant = self.sim.signal(name=f"lock:{self.cid}:{event.eid}")
+        self._pending[event.eid] = grant
+        self._queue.append((event, grant))
+        self._pump()
+        return grant, True
+
+    def release(self, event: Event) -> None:
+        """Release ``event``'s hold (or cancel its reservation).
+
+        Admits successors.  Double release is tolerated: branch cleanup
+        paths may overlap on error.
+        """
+        if event.eid in self.activated:
+            del self.activated[event.eid]
+            self._pump()
+            return
+        if event.eid in self._pending:
+            # The event reserved a position but never claimed it
+            # (error/abort path): cancel the reservation.
+            del self._pending[event.eid]
+            self._queue = deque(
+                (queued, grant)
+                for queued, grant in self._queue
+                if queued.eid != event.eid
+            )
+            self._pump()
+
+    def _pump(self) -> None:
+        admitted = True
+        while admitted and self._queue:
+            admitted = False
+            head_event, grant = self._queue[0]
+            if head_event.mode is AccessMode.RO:
+                exclusive_active = any(
+                    mode is AccessMode.EX for mode in self.activated.values()
+                )
+                if not exclusive_active:
+                    self._admit()
+                    admitted = True
+            else:
+                if not self.activated:
+                    self._admit()
+                    admitted = True
+
+    def _admit(self) -> None:
+        event, grant = self._queue.popleft()
+        del self._pending[event.eid]
+        self.activated[event.eid] = event.mode
+        self.total_acquisitions += 1
+        grant.succeed(None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def holders(self) -> List[int]:
+        """Event ids currently holding the context."""
+        return list(self.activated)
+
+    def is_held(self) -> bool:
+        """Whether any event currently holds the context."""
+        return bool(self.activated)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of events waiting in the toActivateQueue."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ContextLock {self.cid} held_by={sorted(self.activated)} "
+            f"queue={self.queue_length}>"
+        )

@@ -1,0 +1,191 @@
+"""The AEON execution protocol (§4, Algorithms 1 and 2).
+
+Event lifecycle implemented by :class:`AeonRuntime`:
+
+1. The client ships the event to the server hosting the target context
+   (stale location caches cost a forward hop).
+2. The target's server computes the target's **dominator** in the
+   ownership network and sends an ACT message to it; the event queues in
+   the dominator's ``toActivateQueue`` and is admitted FIFO — exclusively
+   for update events, shared for read-only events (Algorithm 2,
+   ``dispatchEvent``).
+3. The dominator EXECs the event back to the target; the EXEC is
+   enqueued in the target's ``toExecuteQueue`` *in dominator order*
+   (modeled as a reserve-then-claim lock acquisition: FIFO positions on
+   every context of a call path are reserved synchronously while the
+   caller's locks are still held, then hops/queueing are paid).
+4. Nested synchronous calls travel down the ownership DAG, activating
+   every context along the path from the calling context to the callee
+   top-down (``scheduleNext`` + ``activatePath``).
+5. Asynchronous calls spawn new *branches* whose lock positions are
+   likewise reserved at spawn time; the event completes when all
+   branches are quiescent; sub-events dispatched inside the event run
+   after it.
+6. Locks are released in reverse acquisition order.  With *chain
+   release* (the default, matching §6.1.2's "releases the Warehouse
+   context"), each branch releases its locks as soon as its body and
+   synchronous work are done — safe because every continuation already
+   reserved its queue positions, so successors admitted by the release
+   order strictly behind it everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from ..sim.cluster import Server
+from ..sim.kernel import Signal
+from .events import CallSpec, Event
+from .runtime import Branch, ClientHandle, RuntimeBase
+
+__all__ = ["AeonRuntime"]
+
+
+class AeonRuntime(RuntimeBase):
+    """The AEON runtime: dominator sequencing + DAG path locking."""
+
+    system_name = "aeon"
+
+    # ------------------------------------------------------------------
+    # Event lifecycle (Algorithm 2)
+    # ------------------------------------------------------------------
+    def _event_process(self, event: Event, client: ClientHandle) -> Generator:
+        spec = event.spec
+        costs = self.costs
+        # Client -> (cached) server hop; stale caches pay a forward hop.
+        cached_name = client.locate(spec.target)
+        yield self.network.delay_signal(client.name, cached_name, costs.client_msg_bytes)
+        target_server = self.server_of(spec.target)
+        if cached_name != target_server.name:
+            # Stale client cache: the wrong server forwards the event.
+            stale_server = self.cluster.servers.get(cached_name)
+            if stale_server is not None:
+                yield from self._hop(
+                    event, stale_server, target_server.name, costs.client_msg_bytes
+                )
+            else:
+                yield self.network.delay_signal(
+                    cached_name, target_server.name, costs.client_msg_bytes
+                )
+            client.learn(spec.target, target_server.name)
+        yield from self._exec(target_server, costs.route_cpu_ms)
+
+        # Lines 1-4: locate the dominator and send ACT to it.
+        dominator = self.ownership.dominator(spec.target)
+        event.dom = dominator
+        branch = Branch(event)
+        if dominator != spec.target:
+            dom_server = self.server_of(dominator)
+            if dom_server.name != target_server.name:
+                yield from self._hop(
+                    event, target_server, dom_server.name, costs.proto_msg_bytes
+                )
+            yield from self._exec(dom_server, costs.lock_cpu_ms)
+            yield self._reserve(event, branch, dominator)
+            # The EXEC back to the target is enqueued in dominator order:
+            # reserve the target's position before traveling (line 16-18).
+            target_reserved = self._reserve(event, branch, spec.target)
+            if dom_server.name != target_server.name:
+                yield from self._hop(
+                    event, dom_server, target_server.name, costs.proto_msg_bytes
+                )
+        else:
+            target_reserved = self._reserve(event, branch, spec.target)
+
+        # activatePath at the target (lines 22-24; path is [target]).
+        yield from self._exec(target_server, costs.lock_cpu_ms)
+        yield target_reserved
+        event.started_ms = self.sim.now
+
+        # Execute the body; the branch is closed even on error so the
+        # dominator is never wedged.
+        try:
+            event.result = yield from self._drive_body(event, spec, branch)
+        finally:
+            yield from self._close_branch(event, branch, self.server_of(spec.target))
+        yield from self._await_quiescence(event)
+        event.committed_ms = self.sim.now
+        self._release_deferred(event)
+        # Reply to the client.
+        reply_from = self.server_of(spec.target)
+        yield from self._hop(event, reply_from, client.name, costs.client_msg_bytes)
+
+    # ------------------------------------------------------------------
+    # Synchronous nested calls (scheduleNext + activatePath)
+    # ------------------------------------------------------------------
+    def _sync_call(
+        self,
+        event: Event,
+        spec: CallSpec,
+        branch: Branch,
+        caller_server: Server,
+        caller_cid: str,
+    ) -> Generator:
+        reserved = self._reserve_path(event, branch, caller_cid, spec.target)
+        current = yield from self._claim_reserved(event, reserved, caller_server)
+        callee_server = self.server_of(spec.target)
+        if current.name != callee_server.name:
+            yield from self._hop(
+                event, current, callee_server.name, self.costs.proto_msg_bytes
+            )
+        yield from self._exec(callee_server, self.costs.route_cpu_ms)
+        result = yield from self._drive_body(event, spec, branch)
+        # Synchronous call: control (and the result) returns to the caller.
+        landed = self.server_of(spec.target)
+        if landed.name != caller_server.name:
+            yield from self._hop(
+                event, landed, caller_server.name, self.costs.proto_msg_bytes
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Asynchronous calls (new branches)
+    # ------------------------------------------------------------------
+    def _spawn_async(
+        self, event: Event, spec: CallSpec, caller_server: Server, caller_cid: str
+    ) -> None:
+        self._branch_opened(event)
+        child = Branch(event)
+        # Reserve the continuation's lock positions *now*, while the
+        # caller's locks are held: the continuation is ordered before
+        # anything admitted by a later release.
+        reserved = self._reserve_path(event, child, caller_cid, spec.target)
+
+        def runner() -> Generator:
+            landed: Optional[Server] = caller_server
+            try:
+                current = yield from self._claim_reserved(event, reserved, caller_server)
+                callee_server = self.server_of(spec.target)
+                if current.name != callee_server.name:
+                    yield from self._hop(
+                        event, current, callee_server.name, self.costs.proto_msg_bytes
+                    )
+                yield from self._exec(callee_server, self.costs.route_cpu_ms)
+                yield from self._drive_body(event, spec, child)
+                landed = self.server_of(spec.target)
+            except Exception as exc:  # noqa: BLE001 - surfaced on the event
+                if event.error is None:
+                    event.error = exc
+            finally:
+                yield from self._close_branch(event, child, landed or caller_server)
+
+        self.sim.process(runner(), name=f"event-{event.eid}-async")
+
+    # ------------------------------------------------------------------
+    # Lock release
+    # ------------------------------------------------------------------
+    def _close_branch(self, event: Event, branch: Branch, at_server: Server) -> Generator:
+        """Close a branch: flush spawned continuations, release locks.
+
+        The single scheduler hop (``yield None``) lets continuations
+        spawned in the final body step take their first step before the
+        release admits competitors (their positions are already
+        reserved, this is belt-and-braces).
+        """
+        yield None
+        if self.costs.early_release:
+            self._release_branch_locks(event, branch, at_server)
+        else:
+            self._deferred_locks[event.eid].extend(branch.locks)
+            branch.locks = []
+        self._branch_closed(event)

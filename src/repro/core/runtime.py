@@ -1,0 +1,615 @@
+"""Shared runtime machinery for every system in the repository.
+
+:class:`RuntimeBase` owns what all three runtimes (AEON, EventWave,
+Orleans) have in common:
+
+* context creation/placement and the ownership network bookkeeping,
+* client registration with cached (possibly stale) context→server maps,
+* event submission, metrics and history recording,
+* the *body driver* that executes a context method written as a plain
+  function or a generator yielding :class:`~repro.core.events.CallSpec`,
+  ``async_``/``dispatch`` markers, ``compute`` and ``sleep``.
+
+Subclasses implement the protocol-specific pieces: how an event reaches
+its target (:meth:`RuntimeBase._event_process`), how a synchronous nested
+call is arbitrated (:meth:`RuntimeBase._sync_call`) and how asynchronous
+calls are spawned (:meth:`RuntimeBase._spawn_async`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple, Type
+
+from ..sim.cluster import Cluster, Server
+from ..sim.kernel import Signal, Simulator
+from ..sim.metrics import LatencyRecorder, ThroughputRecorder
+from ..sim.network import Network
+from .analysis import StaticAnalysis
+from .context import ContextClass, ContextRef, is_readonly, method_cost
+from .costs import CostModel, DEFAULT_COSTS
+from .errors import (
+    AeonError,
+    OwnershipCycleError,
+    OwnershipViolationError,
+    ReadOnlyViolationError,
+    UnknownContextError,
+)
+from .events import (
+    AccessMode,
+    AsyncCall,
+    CallSpec,
+    Compute,
+    Event,
+    Sleep,
+    SubEvent,
+)
+from .history import HistoryRecorder
+from .locking import ContextLock
+from .ownership import OwnershipNetwork
+
+__all__ = ["RuntimeBase", "ClientHandle", "Branch"]
+
+
+class Branch:
+    """One execution strand of an event (the root body or an async call).
+
+    Each branch keeps the ordered list of locks it acquired; with chain
+    release enabled, a branch releases its locks as soon as its body and
+    synchronous sub-calls are done and its asynchronous continuations are
+    already in flight.
+    """
+
+    __slots__ = ("event", "locks")
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+        self.locks: List[str] = []
+
+
+class ClientHandle:
+    """A client endpoint with a cached context→server mapping.
+
+    The cache models the paper's §5.1: clients cache the most recent
+    mapping and learn corrections lazily (a stale entry costs a forward
+    hop, it never costs correctness).
+    """
+
+    def __init__(self, runtime: "RuntimeBase", name: str) -> None:
+        self.runtime = runtime
+        self.name = name
+        self._cache: Dict[str, str] = {}
+
+    def locate(self, cid: str) -> str:
+        """Best-known server name for ``cid`` (cache, else authoritative)."""
+        cached = self._cache.get(cid)
+        if cached is not None and cached in self.runtime.cluster.servers:
+            return cached
+        actual = self.runtime.placement[cid]
+        self._cache[cid] = actual
+        return actual
+
+    def learn(self, cid: str, server_name: str) -> None:
+        """Update the cached location of ``cid``."""
+        self._cache[cid] = server_name
+
+    def submit(self, spec: CallSpec, tag: str = "") -> Signal:
+        """Submit an event through this client."""
+        return self.runtime.submit(self, spec, tag=tag)
+
+
+class RuntimeBase:
+    """Common engine: contexts, clients, events, the method-body driver."""
+
+    system_name = "base"
+    #: Multiplier on all CPU work (Orleans' managed-runtime overhead).
+    cpu_factor = 1.0
+    #: Whether ``async`` call decorations run asynchronously (EventWave
+    #: lacks asynchronous method calls inside events; they run inline).
+    supports_async = True
+    #: Whether read-only events share locks (single-threaded grains and
+    #: EventWave treat everything as exclusive).
+    supports_readonly = True
+    #: Whether nested calls are restricted to transitively owned
+    #: contexts (Orleans grains are unordered).
+    enforce_ownership = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        cluster: Cluster,
+        costs: CostModel = DEFAULT_COSTS,
+        record_history: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.cluster = cluster
+        self.costs = costs
+        self.ownership = OwnershipNetwork()
+        self.analysis = StaticAnalysis()
+        self.instances: Dict[str, ContextClass] = {}
+        self.placement: Dict[str, str] = {}
+        self.locks: Dict[str, ContextLock] = {}
+        self.latency = LatencyRecorder()
+        self.throughput = ThroughputRecorder()
+        self.history: Optional[HistoryRecorder] = HistoryRecorder() if record_history else None
+        self._eid_counter = 0
+        self._cid_counters: Dict[str, int] = {}
+        self._clients: Dict[str, ClientHandle] = {}
+        self._registered_classes: Set[str] = set()
+        self.events_inflight = 0
+        self.events_completed = 0
+        # Per-event lock bookkeeping (event-wide held set, open branches,
+        # quiescence signal, deferred lock list for non-chain release).
+        self._held: Dict[int, Set[str]] = {}
+        self._open_branches: Dict[int, int] = {}
+        self._quiescent: Dict[int, Signal] = {}
+        self._deferred_locks: Dict[int, List[str]] = {}
+        for server in cluster.servers.values():
+            self.attach_server(server)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach_server(self, server: Server) -> None:
+        """Register a (possibly newly provisioned) server with the fabric."""
+        if not self.network.is_registered(server.name):
+            self.network.register(server.name, server.mailbox, server.itype)
+
+    def server_of(self, cid: str) -> Server:
+        """The server currently hosting context ``cid``."""
+        self._ensure_placed(cid)
+        return self.cluster.servers[self.placement[cid]]
+
+    def _ensure_placed(self, cid: str) -> None:
+        if cid in self.placement:
+            return
+        if not self.ownership.is_virtual(cid):
+            raise UnknownContextError(f"context {cid!r} has no placement")
+        # Virtual join contexts carry no state; host them with their
+        # first placed member so dominator hops stay short.
+        for child in sorted(self.ownership.children(cid)):
+            if child in self.placement:
+                self.placement[cid] = self.placement[child]
+                return
+        raise UnknownContextError(f"virtual context {cid!r} has no placed member")
+
+    def _exec(self, server: Server, work_ms: float) -> Generator:
+        """Occupy ``server``'s CPU for scaled ``work_ms`` of unit work."""
+        yield from server.execute(work_ms * self.cpu_factor)
+
+    def _hop(
+        self, event: Event, src_server: Server, dst_name: str, size_bytes: int
+    ) -> Generator:
+        """Send a message from ``src_server`` to endpoint ``dst_name``.
+
+        Cross-server messages charge sender-side CPU (serialization,
+        syscalls) before traversing the network; same-server delivery is
+        (nearly) free.  This asymmetry is what rewards AEON's placement
+        co-location and penalizes Orleans' hash placement.
+        """
+        if src_server.name != dst_name:
+            yield from self._exec(src_server, self.costs.net_cpu_ms)
+            event.hops += 1
+        yield self.network.delay_signal(src_server.name, dst_name, size_bytes)
+
+    def lock_of(self, cid: str) -> ContextLock:
+        """The lock object for ``cid`` (created lazily for virtual joins)."""
+        lock = self.locks.get(cid)
+        if lock is None:
+            lock = ContextLock(self.sim, cid)
+            self.locks[cid] = lock
+        return lock
+
+    # ------------------------------------------------------------------
+    # Context lifecycle
+    # ------------------------------------------------------------------
+    def create_context(
+        self,
+        cls: Type[ContextClass],
+        owners: Sequence[ContextRef] = (),
+        server: Optional[Server] = None,
+        name: Optional[str] = None,
+        args: Sequence[Any] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> ContextRef:
+        """Create a context of ``cls`` owned by ``owners`` on ``server``.
+
+        Runs the static analysis for newly seen contextclasses, registers
+        the context in the ownership network (cycle-checked), places it
+        and then runs ``__init__`` (whose ref-field assignments create
+        further ownership edges).
+        """
+        if not (isinstance(cls, type) and issubclass(cls, ContextClass)):
+            raise TypeError(f"create_context requires a ContextClass, got {cls!r}")
+        self._register_class(cls)
+        count = self._cid_counters.get(cls.__name__, 0) + 1
+        self._cid_counters[cls.__name__] = count
+        cid = name or f"{cls.__name__.lower()}-{count}"
+        if cid in self.instances:
+            raise ValueError(f"duplicate context id {cid!r}")
+        owner_cids = [owner.cid for owner in owners]
+        host = server or self._default_server()
+        instance = cls._aeon_new(self, cid)
+        self.instances[cid] = instance
+        self.ownership.add_context(cid, parents=owner_cids)
+        self.placement[cid] = host.name
+        host.context_count += 1
+        self.locks[cid] = ContextLock(self.sim, cid)
+        try:
+            instance.__init__(*args, **(kwargs or {}))
+        except Exception:
+            # Roll back a half-created context so the network stays sane.
+            del self.instances[cid]
+            self.ownership.remove_context(cid)
+            del self.placement[cid]
+            host.context_count -= 1
+            del self.locks[cid]
+            raise
+        return instance.ref
+
+    def _register_class(self, cls: Type[ContextClass]) -> None:
+        if cls.__name__ in self._registered_classes:
+            return
+        self._registered_classes.add(cls.__name__)
+        self.analysis.register(cls.__name__, cls.declared_ref_types())
+        if self.enforce_ownership:
+            # Orleans grains are unordered; only DAG-disciplined
+            # runtimes reject cyclic contextclass constraints.
+            self.analysis.check()
+
+    def _default_server(self) -> Server:
+        alive = self.cluster.alive_servers()
+        if not alive:
+            raise AeonError("no alive servers to place a context on")
+        return min(alive.values(), key=lambda s: (s.context_count, s.name))
+
+    def instance_of(self, ref_or_cid: Any) -> ContextClass:
+        """The live instance behind a ref or context id."""
+        cid = ref_or_cid.cid if isinstance(ref_or_cid, ContextRef) else ref_or_cid
+        try:
+            return self.instances[cid]
+        except KeyError:
+            raise UnknownContextError(f"unknown context {cid!r}") from None
+
+    # Ownership hooks used by the Ref/RefSet descriptors.
+    def ownership_link(self, owner_cid: str, child_cid: str) -> None:
+        """Record a direct-ownership edge (ref-field assignment).
+
+        Runtimes without an ownership discipline (Orleans) keep the ref
+        but tolerate reference cycles: the edge is simply not recorded
+        in the (acyclic) network.
+        """
+        if self.enforce_ownership:
+            self.ownership.add_edge(owner_cid, child_cid)
+            return
+        try:
+            self.ownership.add_edge(owner_cid, child_cid)
+        except OwnershipCycleError:
+            pass
+
+    def ownership_unlink(self, owner_cid: str, child_cid: str) -> None:
+        """Drop a direct-ownership edge (ref-field clearing)."""
+        self.ownership.remove_edge(owner_cid, child_cid)
+
+    # ------------------------------------------------------------------
+    # Clients and event submission
+    # ------------------------------------------------------------------
+    def register_client(self, name: str) -> ClientHandle:
+        """Register a client endpoint on the network fabric."""
+        if name in self._clients:
+            return self._clients[name]
+        handle = ClientHandle(self, name)
+        self._clients[name] = handle
+        if not self.network.is_registered(name):
+            self.network.register(name)
+        return handle
+
+    def submit(self, client: ClientHandle, spec: CallSpec, tag: str = "") -> Signal:
+        """Submit ``spec`` as an event; returns a signal with the Event.
+
+        The signal always *succeeds* (with the Event object); application
+        errors are surfaced via ``event.error`` so that lock cleanup and
+        metrics stay uniform.
+        """
+        instance = self.instance_of(spec.target)
+        method = getattr(instance, spec.method, None)
+        if method is None or not callable(method):
+            raise AeonError(f"{type(instance).__name__} has no method {spec.method!r}")
+        ro_allowed = self.supports_readonly and is_readonly(method)
+        mode = AccessMode.RO if ro_allowed else AccessMode.EX
+        self._eid_counter += 1
+        event = Event(self._eid_counter, spec, mode, client.name, self.sim.now, tag)
+        completion = self.sim.signal(name=f"event:{event.eid}")
+        self.events_inflight += 1
+        self._held[event.eid] = set()
+        self._open_branches[event.eid] = 1  # the root branch
+        self._deferred_locks[event.eid] = []
+
+        def run() -> Generator:
+            try:
+                yield from self._event_process(event, client)
+            except Exception as exc:  # noqa: BLE001 - surfaced on the event
+                event.error = exc
+            finally:
+                self._finish_event(event, completion)
+            return event
+
+        self.sim.process(run(), name=f"event-{event.eid}")
+        return completion
+
+    def _finish_event(self, event: Event, completion: Signal) -> None:
+        if event.committed_ms is None:
+            event.committed_ms = self.sim.now
+        # Safety net: release anything still held (error paths).
+        for cid in list(self._held.pop(event.eid, ())):
+            self.lock_of(cid).release(event)
+        self._open_branches.pop(event.eid, None)
+        self._quiescent.pop(event.eid, None)
+        self._deferred_locks.pop(event.eid, None)
+        self.events_inflight -= 1
+        self.events_completed += 1
+        self.latency.record(event.submitted_ms, self.sim.now, tag=event.tag)
+        self.throughput.record(self.sim.now)
+        if self.history is not None and event.error is None:
+            self.history.commit(
+                event.eid,
+                event.tag,
+                event.submitted_ms,
+                event.committed_ms,
+                event.reads,
+                event.writes,
+            )
+        # The paper: sub-events dispatched within an event execute after
+        # their creator finishes.
+        client = self._clients[event.client]
+        for sub_spec in event.sub_events:
+            self.submit(client, sub_spec, tag=event.tag + "/sub" if event.tag else "sub")
+        completion.succeed(event)
+
+    # ------------------------------------------------------------------
+    # Branch bookkeeping
+    # ------------------------------------------------------------------
+    def _branch_opened(self, event: Event) -> None:
+        self._open_branches[event.eid] = self._open_branches.get(event.eid, 0) + 1
+
+    def _branch_closed(self, event: Event) -> None:
+        remaining = self._open_branches.get(event.eid, 0) - 1
+        self._open_branches[event.eid] = remaining
+        if remaining <= 0:
+            waiter = self._quiescent.get(event.eid)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(None)
+
+    def _await_quiescence(self, event: Event) -> Generator:
+        """Wait until all branches (root + asyncs) of ``event`` are done."""
+        if self._open_branches.get(event.eid, 0) > 0:
+            waiter = self.sim.signal(name=f"quiescent:{event.eid}")
+            self._quiescent[event.eid] = waiter
+            yield waiter
+
+    # ------------------------------------------------------------------
+    # Method-body driver (shared by all runtimes)
+    # ------------------------------------------------------------------
+    def _drive_body(self, event: Event, spec: CallSpec, branch: Branch) -> Generator:
+        """Execute one method call at the context's current server.
+
+        Charges the method's CPU cost, tracks read/write versions, then
+        interprets the generator yield protocol.  Returns the method's
+        return value.
+        """
+        instance = self.instance_of(spec.target)
+        server = self.server_of(spec.target)
+        method = getattr(instance, spec.method, None)
+        if method is None or not callable(method):
+            raise AeonError(
+                f"{type(instance).__name__} has no method {spec.method!r}"
+            )
+        ro_method = is_readonly(method)
+        if event.mode is AccessMode.RO and not ro_method:
+            raise ReadOnlyViolationError(
+                f"read-only event {event.eid} called non-readonly "
+                f"{type(instance).__name__}.{spec.method}"
+            )
+        self._record_access(event, instance, ro_method)
+        yield from self._exec(server, method_cost(method, self.costs.method_cpu_ms))
+        outcome = method(*spec.args, **spec.kwargs)
+        if not _is_generator(outcome):
+            return outcome
+        return (yield from self._drive_generator(event, spec, branch, outcome, server))
+
+    def _drive_generator(
+        self,
+        event: Event,
+        spec: CallSpec,
+        branch: Branch,
+        body: Generator,
+        server: Server,
+    ) -> Generator:
+        send_value: Any = None
+        thrown: Optional[BaseException] = None
+        while True:
+            try:
+                if thrown is not None:
+                    exc, thrown = thrown, None
+                    item = body.throw(exc)
+                else:
+                    item = body.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            send_value = None
+            try:
+                if isinstance(item, CallSpec):
+                    self._check_ownership_discipline(spec.target, item.target)
+                    send_value = yield from self._sync_call(
+                        event, item, branch, server, spec.target
+                    )
+                elif isinstance(item, AsyncCall):
+                    self._check_ownership_discipline(spec.target, item.spec.target)
+                    if self.supports_async:
+                        self._spawn_async(event, item.spec, server, spec.target)
+                    else:
+                        # EventWave has no async method calls inside
+                        # events; the call degrades to synchronous.
+                        yield from self._sync_call(
+                            event, item.spec, branch, server, spec.target
+                        )
+                elif isinstance(item, SubEvent):
+                    event.sub_events.append(item.spec)
+                elif isinstance(item, Compute):
+                    yield from self._exec(server, item.work_ms)
+                elif isinstance(item, Sleep):
+                    yield self.sim.timeout(item.delay_ms)
+                else:
+                    raise AeonError(
+                        f"method {spec.method!r} yielded unsupported {item!r}"
+                    )
+            except Exception as exc:  # noqa: BLE001 - give the body a chance
+                thrown = exc
+
+    def _check_ownership_discipline(self, caller_cid: str, callee_cid: str) -> None:
+        """Callers may only call into contexts they transitively own."""
+        if not self.enforce_ownership:
+            return
+        if callee_cid == caller_cid:
+            return
+        if not self.ownership.owns(caller_cid, callee_cid):
+            raise OwnershipViolationError(
+                f"context {caller_cid!r} does not own {callee_cid!r}"
+            )
+
+    def _record_access(self, event: Event, instance: ContextClass, ro_method: bool) -> None:
+        cid = instance.cid
+        if ro_method:
+            if cid not in event.writes:
+                event.reads[cid] = instance._aeon_version
+        else:
+            if cid not in event.writes:
+                instance._aeon_version += 1
+            event.writes[cid] = instance._aeon_version
+
+
+    # ------------------------------------------------------------------
+    # Lock reservation and release (shared by AEON and EventWave)
+    # ------------------------------------------------------------------
+    def _reserve(self, event: Event, branch: Branch, cid: str) -> Signal:
+        """Reserve a FIFO position on ``cid``'s lock for ``event``.
+
+        Performed synchronously (no simulated delay) at call-initiation
+        time, while the caller's locks are still held — this is what
+        makes the per-context execution order inherit the sequencer
+        (dominator / root) order, and what keeps chain release safe.
+        """
+        held = self._held[event.eid]
+        grant, owned = self.lock_of(cid).request(event)
+        held.add(cid)
+        if owned:
+            branch.locks.append(cid)
+        return grant
+
+    def _reserve_path(
+        self, event: Event, branch: Branch, caller_cid: str, callee: str
+    ) -> List[Tuple[str, Signal]]:
+        """Reserve positions along ``findPath(caller, callee)`` top-down.
+
+        Contexts already held (or reserved) by the event are skipped.
+        Returns the ``(cid, grant)`` pairs to claim, in path order.
+        """
+        held = self._held[event.eid]
+        path = self.ownership.find_path(caller_cid, callee)
+        reserved: List[Tuple[str, Signal]] = []
+        for cid in path:
+            if cid in held:
+                continue
+            reserved.append((cid, self._reserve(event, branch, cid)))
+        return reserved
+
+    def _claim_reserved(
+        self,
+        event: Event,
+        reserved: List[Tuple[str, Signal]],
+        current: Server,
+    ) -> Generator:
+        """Pay hops/CPU and wait for each reserved grant, top-down."""
+        for cid, grant in reserved:
+            lock_server = self.server_of(cid)
+            if lock_server.name != current.name:
+                yield from self._hop(
+                    event, current, lock_server.name, self.costs.proto_msg_bytes
+                )
+                current = lock_server
+            yield from self._exec(lock_server, self.costs.lock_cpu_ms)
+            yield grant
+        return current
+
+    def _release_branch_locks(self, event: Event, branch: Branch, at_server: Server) -> None:
+        """Release a branch's locks in reverse acquisition order."""
+        held = self._held.get(event.eid)
+        for cid in reversed(branch.locks):
+            if held is not None:
+                held.discard(cid)
+            self._schedule_release(event, cid, at_server)
+        branch.locks = []
+
+    def _release_deferred(self, event: Event) -> None:
+        """Release locks deferred to commit (non-chain-release mode)."""
+        deferred = self._deferred_locks.get(event.eid, [])
+        held = self._held.get(event.eid)
+        release_from = self.server_of(event.target)
+        for cid in reversed(deferred):
+            if held is not None:
+                held.discard(cid)
+            self._schedule_release(event, cid, release_from)
+        self._deferred_locks[event.eid] = []
+
+    def _schedule_release(self, event: Event, cid: str, from_server: Server) -> None:
+        """Release ``cid`` after the release message's one-way latency."""
+        lock = self.lock_of(cid)
+        try:
+            lock_server_name = self.server_of(cid).name
+        except Exception:  # pragma: no cover - context vanished mid-flight
+            lock.release(event)
+            return
+        delay = self.network.latency.latency_ms(from_server.name, lock_server_name)
+        self.sim.schedule(delay, lock.release, event)
+
+    # ------------------------------------------------------------------
+    # Protocol-specific hooks
+    # ------------------------------------------------------------------
+    def _event_process(self, event: Event, client: ClientHandle) -> Generator:
+        """Drive one event end to end (subclass responsibility)."""
+        raise NotImplementedError
+
+    def _sync_call(
+        self,
+        event: Event,
+        spec: CallSpec,
+        branch: Branch,
+        caller_server: Server,
+        caller_cid: str,
+    ) -> Generator:
+        """Arbitrate and execute a synchronous nested call."""
+        raise NotImplementedError
+
+    def _spawn_async(
+        self, event: Event, spec: CallSpec, caller_server: Server, caller_cid: str
+    ) -> None:
+        """Spawn an asynchronous nested call (joined before completion)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def context_count(self) -> int:
+        """Number of live (non-virtual) contexts."""
+        return len(self.instances)
+
+    def check_history(self) -> None:
+        """Run the strict-serializability checker (requires history)."""
+        if self.history is None:
+            raise AeonError("runtime was created without record_history=True")
+        self.history.check()
+
+
+def _is_generator(value: Any) -> bool:
+    return hasattr(value, "send") and hasattr(value, "throw")

@@ -1,0 +1,36 @@
+"""Elasticity: the eManager, migration protocol, policies, snapshots."""
+
+from .emanager import EManager
+from .migration import MigrationCoordinator, MigrationRecord
+from .policies import (
+    Action,
+    ClusterSnapshot,
+    ElasticityPolicy,
+    MigrateAction,
+    ResourceUtilizationPolicy,
+    ScaleInAction,
+    ScaleOutAction,
+    ServerContentionPolicy,
+    ServerReport,
+    SLAPolicy,
+)
+from .snapshot import snapshot_context
+from .storage import CloudStorage
+
+__all__ = [
+    "Action",
+    "CloudStorage",
+    "ClusterSnapshot",
+    "ElasticityPolicy",
+    "EManager",
+    "MigrateAction",
+    "MigrationCoordinator",
+    "MigrationRecord",
+    "ResourceUtilizationPolicy",
+    "ScaleInAction",
+    "ScaleOutAction",
+    "ServerContentionPolicy",
+    "ServerReport",
+    "SLAPolicy",
+    "snapshot_context",
+]

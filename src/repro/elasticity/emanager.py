@@ -1,0 +1,258 @@
+"""The elasticity manager (§5): mapping, policies, migrations, recovery.
+
+The eManager is a *stateless* service: the authoritative context mapping
+and the in-flight migration write-ahead records live in cloud storage.
+Every ``report_interval_ms`` it:
+
+1. collects per-server resource reports (CPU utilization, context
+   counts) and recent client latency,
+2. asks its :class:`~repro.elasticity.policies.ElasticityPolicy` for
+   actions,
+3. provisions/decommissions servers and launches migrations through the
+   :class:`~repro.elasticity.migration.MigrationCoordinator` (bounded
+   concurrency),
+4. persists the mapping epoch.
+
+``crash()`` kills the manager mid-flight; ``recover()`` builds a fresh
+manager that reads the WAL from storage and completes unfinished
+migrations — the §5.3 fault-tolerance story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..core.runtime import RuntimeBase
+from ..sim.cluster import InstanceType, Server
+from ..sim.kernel import Signal
+from ..sim.metrics import TimeSeries, mean, percentile
+from .migration import MigrationCoordinator, MigrationRecord
+from .policies import (
+    Action,
+    ClusterSnapshot,
+    ElasticityPolicy,
+    MigrateAction,
+    ScaleInAction,
+    ScaleOutAction,
+    ServerReport,
+)
+from .storage import CloudStorage
+
+__all__ = ["EManager"]
+
+
+class EManager:
+    """Periodic elasticity controller for one runtime."""
+
+    def __init__(
+        self,
+        runtime: RuntimeBase,
+        storage: CloudStorage,
+        policy: ElasticityPolicy,
+        instance_type: InstanceType,
+        report_interval_ms: float = 1000.0,
+        max_concurrent_migrations: int = 4,
+        host: Optional[Server] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.storage = storage
+        self.policy = policy
+        self.instance_type = instance_type
+        self.report_interval_ms = report_interval_ms
+        self.max_concurrent_migrations = max_concurrent_migrations
+        sim = runtime.sim
+        self.host = host or Server(sim, "~emanager", instance_type)
+        if not runtime.network.is_registered(self.host.name):
+            runtime.network.register(self.host.name, self.host.mailbox, instance_type)
+        self.coordinator = MigrationCoordinator(runtime, storage, self.host)
+        self.crashed = False
+        self.running = False
+        self.migrations_started = 0
+        self.server_count_series = TimeSeries()
+        self._latency_mark = 0
+        self._draining: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic report/decide/act loop."""
+        if self.running:
+            return
+        self.running = True
+        self.runtime.sim.process(self._loop(), name="emanager")
+
+    def stop(self) -> None:
+        """Stop the loop at the next tick."""
+        self.running = False
+
+    def crash(self) -> None:
+        """Fail-stop the manager (in-flight migrations keep their WAL)."""
+        self.crashed = True
+        self.running = False
+        self.coordinator.halted = True
+
+    def recover(self) -> "EManager":
+        """Elect a replacement manager that finishes WAL'd migrations."""
+        successor = EManager(
+            self.runtime,
+            self.storage,
+            self.policy,
+            self.instance_type,
+            self.report_interval_ms,
+            self.max_concurrent_migrations,
+        )
+        for key in self.storage.keys_with_prefix("migration/"):
+            payload = self.storage.peek(key)
+            if not payload or payload.get("step") in (None, "done"):
+                continue
+            record = MigrationRecord(
+                migration_id=payload["migration_id"],
+                cid=payload["cid"],
+                src=payload["src"],
+                dst=payload["dst"],
+                step=payload["step"],
+                started_ms=self.runtime.sim.now,
+            )
+            instance = self.runtime.instances.get(record.cid)
+            if instance is not None:
+                record.size_bytes = int(getattr(instance, "size_bytes", 1024))
+            successor.coordinator.resume(record)
+        return successor
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def _loop(self) -> Generator:
+        while self.running and not self.crashed:
+            yield self.runtime.sim.timeout(self.report_interval_ms)
+            if not self.running or self.crashed:
+                return
+            snapshot = self.collect_snapshot()
+            self.server_count_series.add(
+                self.runtime.sim.now, len(snapshot.alive_reports())
+            )
+            actions = self.policy.decide(snapshot)
+            yield from self._execute(actions, snapshot)
+            # Persist the mapping epoch (the stateless-manager story).
+            yield self.storage.write(
+                "mapping/epoch", self.runtime.ownership.epoch, size_bytes=32
+            )
+
+    def collect_snapshot(self) -> ClusterSnapshot:
+        """Assemble the cluster state the policy decides on."""
+        runtime = self.runtime
+        reports = [
+            ServerReport(
+                name=server.name,
+                cpu_utilization=server.utilization_window(),
+                context_count=server.context_count,
+                alive=server.alive,
+            )
+            for server in runtime.cluster.servers.values()
+        ]
+        window_start = max(0.0, runtime.sim.now - self.report_interval_ms)
+        latencies = runtime.latency.latencies(since_ms=window_start)
+        contexts_by_server: Dict[str, List[str]] = {}
+        for cid, server_name in runtime.placement.items():
+            if runtime.ownership.is_virtual(cid):
+                continue
+            contexts_by_server.setdefault(server_name, []).append(cid)
+        for listing in contexts_by_server.values():
+            listing.sort(key=self._migration_preference)
+        return ClusterSnapshot(
+            now_ms=runtime.sim.now,
+            servers=reports,
+            mean_latency_ms=mean(latencies),
+            p99_latency_ms=percentile(latencies, 99.0),
+            completed_in_window=len(latencies),
+            contexts_by_server=contexts_by_server,
+        )
+
+    def _migration_preference(self, cid: str) -> tuple:
+        """Order contexts within a server for migration picking.
+
+        Prefer contexts that are roots of larger subtrees (the paper
+        migrates Rooms, not individual Items): fewer owners first, more
+        children first.
+        """
+        ownership = self.runtime.ownership
+        return (len(ownership.parents(cid)), -len(ownership.children(cid)), cid)
+
+    def _execute(self, actions: List[Action], snapshot: ClusterSnapshot) -> Generator:
+        pending: List[Signal] = []
+        for action in actions:
+            if isinstance(action, ScaleOutAction):
+                for _ in range(action.count):
+                    handle = self.runtime.cluster.provision(self.instance_type)
+                    handle.ready.add_callback(
+                        lambda _sig, server=handle.server: self._on_booted(server)
+                    )
+            elif isinstance(action, MigrateAction):
+                dst = self.runtime.cluster.servers.get(action.dst_server)
+                if dst is None or not dst.alive:
+                    continue
+                if self.runtime.placement.get(action.cid) == dst.name:
+                    continue
+                if len(self.coordinator.in_flight()) >= self.max_concurrent_migrations:
+                    break
+                # Move the context together with its co-located subtree
+                # (the paper moves "Room and Player contexts"): migrating
+                # a container without its members would leave the load
+                # behind and add cross-server hops.
+                for member in self._colocated_subtree(action.cid):
+                    self.migrations_started += 1
+                    pending.append(self.coordinator.migrate(member, dst))
+            elif isinstance(action, ScaleInAction):
+                yield from self._drain_and_remove(action.server)
+        # Wait for this round's migrations (bounded, keeps rounds sane).
+        for signal in pending:
+            if not signal.triggered:
+                yield signal
+
+    def _colocated_subtree(self, cid: str) -> List[str]:
+        """``cid`` plus its descendants hosted on the same server."""
+        runtime = self.runtime
+        home = runtime.placement.get(cid)
+        members = [
+            member
+            for member in runtime.ownership.descendants(cid)
+            if not runtime.ownership.is_virtual(member)
+            and runtime.placement.get(member) == home
+        ]
+        # Containers first so arriving events find the parents settled.
+        members.sort(key=lambda m: len(runtime.ownership.ancestors(m)))
+        return members
+
+    def _on_booted(self, server: Server) -> None:
+        self.runtime.attach_server(server)
+
+    def _drain_and_remove(self, server_name: str) -> Generator:
+        """Move a server's contexts away, then decommission it."""
+        runtime = self.runtime
+        server = runtime.cluster.servers.get(server_name)
+        if server is None or self._draining.get(server_name):
+            return
+        self._draining[server_name] = True
+        victims = [
+            cid
+            for cid, host in runtime.placement.items()
+            if host == server_name and not runtime.ownership.is_virtual(cid)
+        ]
+        targets = [
+            s
+            for s in runtime.cluster.alive_servers().values()
+            if s.name != server_name
+        ]
+        if not targets:
+            self._draining[server_name] = False
+            return
+        targets.sort(key=lambda s: (s.context_count, s.name))
+        for index, cid in enumerate(victims):
+            dst = targets[index % len(targets)]
+            done = self.coordinator.migrate(cid, dst)
+            self.migrations_started += 1
+            yield done
+        runtime.cluster.decommission(server_name)
+        runtime.network.unregister(server_name)
+        self._draining.pop(server_name, None)

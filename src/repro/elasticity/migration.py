@@ -1,0 +1,237 @@
+"""The five-step atomic context-migration protocol (§5.2).
+
+Steps, exactly as the paper numbers them:
+
+  I.   The eManager sends *prepare* to the destination ``s2``; ``s2``
+       creates a pending queue for the context and acks.
+  II.  The eManager tells the source ``s1`` to stop accepting events for
+       the context and waits for the ack.
+  III. After ``δ`` milliseconds it durably updates the context mapping
+       (new lookups resolve to ``s2``) and sends ``migrate(C, s2)`` to
+       ``s1``.
+  IV.  ``s1`` enqueues the special ``migratec`` event in C's execution
+       queue; when it reaches the head (all admitted events drained) the
+       state transfer starts.
+  V.   On completion ``s2`` notifies the eManager and starts executing
+       the buffered events.
+
+In this implementation the "pending queue" and "stop accepting" are
+realized by the context's lock: ``migratec`` is an exclusive synthetic
+event, so events admitted before it finish first (correctness under
+migration), and events arriving later queue behind it and execute at
+``s2`` after the move — plus a forward hop if their sender's location
+cache was stale (modeled by :class:`~repro.core.runtime.ClientHandle`).
+
+Every step writes a write-ahead record to cloud storage, which is what
+lets a recovering eManager finish in-flight migrations (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..core.errors import MigrationError
+from ..core.events import AccessMode, CallSpec, Event
+from ..core.runtime import RuntimeBase
+from ..sim.cluster import Server
+from ..sim.kernel import Signal, Simulator
+from .storage import CloudStorage
+
+__all__ = ["MigrationCoordinator", "MigrationRecord"]
+
+
+@dataclass
+class MigrationRecord:
+    """Progress record of one migration (also the WAL payload)."""
+
+    migration_id: int
+    cid: str
+    src: str
+    dst: str
+    step: str = "started"  # started -> prepared -> stopped -> remapped -> moved -> done
+    started_ms: float = 0.0
+    finished_ms: Optional[float] = None
+    size_bytes: int = 0
+
+    def as_payload(self) -> dict:
+        """Serializable WAL form."""
+        return {
+            "migration_id": self.migration_id,
+            "cid": self.cid,
+            "src": self.src,
+            "dst": self.dst,
+            "step": self.step,
+        }
+
+
+class MigrationCoordinator:
+    """Executes migrations for a runtime, one generator process each."""
+
+    #: Fixed eManager work per migration (bookkeeping, not CPU-scaled).
+    BASE_OVERHEAD_MS = 4.0
+    #: CPU unit-work charged on the eManager host per migration.
+    EMANAGER_CPU_MS = 14.0
+
+    def __init__(
+        self,
+        runtime: RuntimeBase,
+        storage: CloudStorage,
+        emanager_host: Server,
+        delta_ms: float = 2.0,
+    ) -> None:
+        self.runtime = runtime
+        self.storage = storage
+        self.host = emanager_host
+        self.delta_ms = delta_ms
+        self.records: List[MigrationRecord] = []
+        self._counter = 0
+        self.completed = 0
+        self.failed = 0
+        #: Set on eManager crash: in-flight migrations stop at their
+        #: next step boundary, leaving their WAL record for recovery.
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def migrate(self, cid: str, dst: Server) -> Signal:
+        """Migrate context ``cid`` to server ``dst``; returns completion."""
+        record = self._new_record(cid, dst)
+        done = self.runtime.sim.signal(name=f"migration:{record.migration_id}")
+        self.runtime.sim.process(
+            self._run(record, done), name=f"migration-{record.migration_id}"
+        )
+        return done
+
+    def resume(self, record: MigrationRecord) -> Signal:
+        """Finish an in-flight migration found in the WAL (recovery)."""
+        done = self.runtime.sim.signal(name=f"migration:{record.migration_id}:resume")
+        self.records.append(record)
+        self.runtime.sim.process(
+            self._run(record, done), name=f"migration-{record.migration_id}-resume"
+        )
+        return done
+
+    def _new_record(self, cid: str, dst: Server) -> MigrationRecord:
+        if cid not in self.runtime.placement:
+            raise MigrationError(f"cannot migrate unknown context {cid!r}")
+        src = self.runtime.placement[cid]
+        if src == dst.name:
+            raise MigrationError(f"context {cid!r} is already on {dst.name}")
+        if not dst.alive:
+            raise MigrationError(f"destination {dst.name} is not booted")
+        self._counter += 1
+        instance = self.runtime.instances[cid]
+        record = MigrationRecord(
+            migration_id=self._counter,
+            cid=cid,
+            src=src,
+            dst=dst.name,
+            started_ms=self.runtime.sim.now,
+            size_bytes=int(getattr(instance, "size_bytes", 1024)),
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # The protocol
+    # ------------------------------------------------------------------
+    def _run(self, record: MigrationRecord, done: Signal) -> Generator:
+        sim = self.runtime.sim
+        network = self.runtime.network
+        try:
+            # eManager bookkeeping (CPU on the eManager host).
+            yield from self.host.execute(self.EMANAGER_CPU_MS)
+            yield sim.timeout(self.BASE_OVERHEAD_MS)
+
+            # Step I: prepare the destination, wait for its ack.
+            yield network.delay_signal(self.host.name, record.dst)
+            yield network.delay_signal(record.dst, self.host.name)
+            yield from self._log(record, "prepared")
+            if self.halted:
+                return
+
+            # Step II: source stops accepting events for the context.
+            yield network.delay_signal(self.host.name, record.src)
+            yield network.delay_signal(record.src, self.host.name)
+            yield from self._log(record, "stopped")
+            if self.halted:
+                return
+
+            # Step III: after δ, durably remap, then tell the source.
+            yield sim.timeout(self.delta_ms)
+            yield self.storage.write(
+                f"mapping/{record.cid}", record.dst, size_bytes=64
+            )
+            yield from self._log(record, "remapped")
+            if self.halted:
+                return
+            yield network.delay_signal(self.host.name, record.src)
+
+            # Step IV: the migratec event drains the context's queue.
+            migratec = Event(
+                eid=-record.migration_id,  # negative ids: synthetic events
+                spec=CallSpec(record.cid, "__migrate__"),
+                mode=AccessMode.EX,
+                client="~emanager",
+                submitted_ms=sim.now,
+                tag="migrate",
+            )
+            lock = self.runtime.lock_of(record.cid)
+            grant, _owned = lock.request(migratec)
+            yield grant
+            try:
+                # Step V: transfer the state and flip the placement.
+                yield network.delay_signal(
+                    record.src, record.dst, size_bytes=record.size_bytes
+                )
+                self._apply_placement(record)
+                yield from self._log(record, "moved")
+            finally:
+                lock.release(migratec)
+            # s2 notifies the eManager; buffered events already queue
+            # on the (location-independent) lock and run at s2.
+            yield network.delay_signal(record.dst, self.host.name)
+            yield from self._log(record, "done")
+            record.finished_ms = sim.now
+            self.completed += 1
+            done.succeed(record)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            self.failed += 1
+            done.fail(MigrationError(f"migration of {record.cid!r} failed: {exc}"))
+
+    def _apply_placement(self, record: MigrationRecord) -> None:
+        placement = self.runtime.placement
+        current = placement.get(record.cid)
+        if current == record.dst:
+            return  # recovery re-run after the move already happened
+        if current != record.src:
+            raise MigrationError(
+                f"context {record.cid!r} moved unexpectedly "
+                f"({current!r} != {record.src!r})"
+            )
+        src_server = self.runtime.cluster.servers.get(record.src)
+        dst_server = self.runtime.cluster.servers.get(record.dst)
+        if dst_server is None or not dst_server.alive:
+            raise MigrationError(f"destination {record.dst} vanished mid-migration")
+        placement[record.cid] = record.dst
+        if src_server is not None:
+            src_server.context_count -= 1
+        dst_server.context_count += 1
+
+    def _log(self, record: MigrationRecord, step: str) -> Generator:
+        """Persist the WAL record for crash recovery (§5.3)."""
+        record.step = step
+        key = f"migration/{record.migration_id}"
+        if step == "done":
+            yield self.storage.delete(key)
+        else:
+            yield self.storage.write(key, record.as_payload(), size_bytes=128)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def in_flight(self) -> List[MigrationRecord]:
+        """Migrations that have started but not finished."""
+        return [r for r in self.records if r.finished_ms is None]

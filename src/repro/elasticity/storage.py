@@ -1,0 +1,97 @@
+"""Simulated cloud storage (the paper's configurable S3/ZooKeeper role).
+
+The eManager is stateless: the context mapping, the ownership network
+snapshot, migration write-ahead records and context snapshots all live
+here (§5.1, §5.3).  The model charges a per-operation latency plus a
+size-dependent transfer time, and keeps everything durably in plain
+dicts so tests (and eManager crash-recovery) can inspect state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..sim.kernel import Signal, Simulator
+
+__all__ = ["CloudStorage"]
+
+
+class CloudStorage:
+    """A durable, highly available key-value store with simulated latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        read_latency_ms: float = 0.8,
+        write_latency_ms: float = 1.6,
+        gbps: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.read_latency_ms = read_latency_ms
+        self.write_latency_ms = write_latency_ms
+        self.gbps = gbps
+        self._data: Dict[str, Any] = {}
+        self.reads = 0
+        self.writes = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # Asynchronous (simulated-latency) API
+    # ------------------------------------------------------------------
+    def write(self, key: str, value: Any, size_bytes: int = 256) -> Signal:
+        """Durably store ``value``; the signal fires once persisted.
+
+        The value is applied at completion time (not at call time), so a
+        reader racing the write observes the old value — like S3.
+        """
+        signal = self.sim.signal(name=f"storage-write:{key}")
+        delay = self.write_latency_ms + self._transfer_ms(size_bytes)
+
+        def apply() -> None:
+            self._data[key] = value
+            self.writes += 1
+            self.bytes_written += size_bytes
+            signal.succeed(None)
+
+        self.sim.schedule(delay, apply)
+        return signal
+
+    def read(self, key: str, size_bytes: int = 256) -> Signal:
+        """Fetch ``key``; the signal fires with the value (or None)."""
+        signal = self.sim.signal(name=f"storage-read:{key}")
+        delay = self.read_latency_ms + self._transfer_ms(size_bytes)
+
+        def finish() -> None:
+            self.reads += 1
+            signal.succeed(self._data.get(key))
+
+        self.sim.schedule(delay, finish)
+        return signal
+
+    def delete(self, key: str) -> Signal:
+        """Remove ``key``; the signal fires once applied."""
+        signal = self.sim.signal(name=f"storage-delete:{key}")
+
+        def apply() -> None:
+            self._data.pop(key, None)
+            self.writes += 1
+            signal.succeed(None)
+
+        self.sim.schedule(self.write_latency_ms, apply)
+        return signal
+
+    def _transfer_ms(self, size_bytes: int) -> float:
+        if self.gbps <= 0:
+            return 0.0
+        return (size_bytes * 8) / (self.gbps * 1e6)
+
+    # ------------------------------------------------------------------
+    # Synchronous inspection (tests, recovery bootstrap)
+    # ------------------------------------------------------------------
+    def peek(self, key: str) -> Any:
+        """Current durable value without simulated latency (tests only)."""
+        return self._data.get(key)
+
+    def keys_with_prefix(self, prefix: str) -> List[str]:
+        """All durable keys starting with ``prefix`` (tests/recovery)."""
+        return sorted(k for k in self._data if k.startswith(prefix))

@@ -1,0 +1,14 @@
+"""Experiment harness: drivers for every table and figure in the paper."""
+
+from .experiments import ALL_EXPERIMENTS, render
+from .runner import RunResult, SYSTEMS, Testbed, make_testbed, run_game
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "render",
+    "RunResult",
+    "SYSTEMS",
+    "Testbed",
+    "make_testbed",
+    "run_game",
+]

@@ -1,0 +1,550 @@
+"""Drivers regenerating every table and figure of the paper's §6.
+
+Each ``figNx``/``tableN`` function runs the corresponding experiment and
+returns plain data (dicts/lists) plus renders a text table via
+:mod:`repro.harness.report`.  ``scale`` selects sizing:
+
+* ``"quick"`` — benchmark-friendly (seconds per system);
+* ``"full"``  — the EXPERIMENTS.md numbers (minutes per figure).
+
+Run everything from the command line::
+
+    python -m repro.harness.experiments --figure fig5a --scale quick
+    python -m repro.harness.experiments --all --scale full
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..apps.game import GameConfig, Room, build_game
+from ..apps.tpcc import TpccConfig, TpccWorkload, build_tpcc
+from ..core.costs import CostModel, DEFAULT_COSTS
+from ..elasticity import CloudStorage, EManager, MigrationCoordinator, SLAPolicy
+from ..sim.cluster import INSTANCE_TYPES, M1_SMALL, M3_LARGE, Server
+from ..sim.metrics import mean
+from ..workloads.generators import ClosedLoopClients, DynamicClients, RampProfile
+from ..workloads.sla import sla_report
+from .report import format_series, format_table
+from .runner import SYSTEMS, make_testbed, measure, run_game
+
+__all__ = [
+    "fig5a",
+    "fig5b",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "table1",
+    "fig8",
+    "fig9",
+    "ablation_chain_release",
+    "ALL_EXPERIMENTS",
+    "main",
+]
+
+
+@dataclass
+class Scale:
+    """Experiment sizing knobs."""
+
+    game_duration_ms: float
+    game_warmup_ms: float
+    game_clients_per_server: int
+    tpcc_duration_ms: float
+    tpcc_warmup_ms: float
+    tpcc_clients_per_server: int
+    server_counts: Tuple[int, ...]
+    client_sweep: Tuple[int, ...]
+    elastic_duration_ms: float
+    migration_duration_ms: float
+    emanager_batch: int
+
+
+SCALES: Dict[str, Scale] = {
+    "quick": Scale(
+        game_duration_ms=1200.0,
+        game_warmup_ms=400.0,
+        game_clients_per_server=60,
+        tpcc_duration_ms=8000.0,
+        tpcc_warmup_ms=2500.0,
+        tpcc_clients_per_server=12,
+        server_counts=(2, 4, 8),
+        client_sweep=(8, 32, 96, 192),
+        elastic_duration_ms=40000.0,
+        migration_duration_ms=12000.0,
+        emanager_batch=40,
+    ),
+    "full": Scale(
+        game_duration_ms=2500.0,
+        game_warmup_ms=700.0,
+        game_clients_per_server=110,
+        tpcc_duration_ms=15000.0,
+        tpcc_warmup_ms=4000.0,
+        tpcc_clients_per_server=16,
+        server_counts=(2, 4, 8, 12, 16),
+        client_sweep=(8, 24, 64, 128, 256, 512),
+        elastic_duration_ms=60000.0,
+        migration_duration_ms=20000.0,
+        emanager_batch=120,
+    ),
+}
+
+
+def _tpcc_run(
+    system: str,
+    n_servers: int,
+    n_clients: int,
+    duration_ms: float,
+    warmup_ms: float,
+    seed: int = 0,
+    think_ms: float = 5.0,
+):
+    testbed = make_testbed(system, n_servers, seed=seed)
+    config = TpccConfig(districts=n_servers, customers_per_district=10)
+    deployment = build_tpcc(
+        testbed.runtime,
+        config,
+        multi_ownership=(system == "aeon"),
+        servers=testbed.servers,
+        colocate=system in ("aeon", "aeon_so", "eventwave"),
+    )
+    workload = TpccWorkload(deployment, system)
+    clients = ClosedLoopClients(
+        testbed.runtime,
+        workload.sample_op,
+        n_clients=n_clients,
+        think_ms=think_ms,
+        rng=testbed.rng,
+        stop_at_ms=duration_ms,
+    )
+    clients.start()
+    testbed.sim.run(until=duration_ms + 15000.0)
+    result = measure(system, testbed, n_clients, warmup_ms, duration_ms)
+    result.errors = len(clients.errors)
+    return result, testbed, deployment
+
+
+# ----------------------------------------------------------------------
+# Fig. 5a — game scale-out
+# ----------------------------------------------------------------------
+def fig5a(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[int, float]]]:
+    """Game throughput vs number of servers, all five systems."""
+    sizing = SCALES[scale]
+    curves: Dict[str, List[Tuple[int, float]]] = {}
+    for system in SYSTEMS:
+        curve = []
+        for n_servers in sizing.server_counts:
+            result, _tb, _app = run_game(
+                system,
+                n_servers,
+                n_clients=sizing.game_clients_per_server * n_servers,
+                duration_ms=sizing.game_duration_ms,
+                warmup_ms=sizing.game_warmup_ms,
+                think_ms=2.0,
+                seed=seed,
+            )
+            curve.append((n_servers, result.throughput_per_s))
+        curves[system] = curve
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Fig. 5b — game latency vs throughput at 8 servers
+# ----------------------------------------------------------------------
+def fig5b(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[float, float]]]:
+    """Game (throughput, mean latency) pairs over a client sweep."""
+    sizing = SCALES[scale]
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for system in SYSTEMS:
+        points = []
+        for n_clients in sizing.client_sweep:
+            result, _tb, _app = run_game(
+                system,
+                8,
+                n_clients=n_clients,
+                duration_ms=sizing.game_duration_ms,
+                warmup_ms=sizing.game_warmup_ms,
+                think_ms=2.0,
+                seed=seed,
+            )
+            points.append((result.throughput_per_s, result.mean_latency_ms))
+        curves[system] = points
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Fig. 6a — TPC-C scale-out
+# ----------------------------------------------------------------------
+def fig6a(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[int, float]]]:
+    """TPC-C throughput vs number of servers (one district each)."""
+    sizing = SCALES[scale]
+    curves: Dict[str, List[Tuple[int, float]]] = {}
+    for system in SYSTEMS:
+        curve = []
+        for n_servers in sizing.server_counts:
+            result, _tb, _dep = _tpcc_run(
+                system,
+                n_servers,
+                n_clients=sizing.tpcc_clients_per_server * n_servers,
+                duration_ms=sizing.tpcc_duration_ms,
+                warmup_ms=sizing.tpcc_warmup_ms,
+                seed=seed,
+            )
+            curve.append((n_servers, result.throughput_per_s))
+        curves[system] = curve
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Fig. 6b — TPC-C latency vs throughput at 8 servers
+# ----------------------------------------------------------------------
+def fig6b(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[float, float]]]:
+    """TPC-C (throughput, mean latency) pairs over a client sweep."""
+    sizing = SCALES[scale]
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for system in SYSTEMS:
+        points = []
+        for n_clients in sizing.client_sweep:
+            result, _tb, _dep = _tpcc_run(
+                system,
+                8,
+                n_clients=n_clients,
+                duration_ms=sizing.tpcc_duration_ms,
+                warmup_ms=sizing.tpcc_warmup_ms,
+                seed=seed,
+            )
+            points.append((result.throughput_per_s, result.mean_latency_ms))
+        curves[system] = points
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 + Table 1 — elasticity under an SLA
+# ----------------------------------------------------------------------
+def _elastic_game_run(
+    setup: str,
+    scale: str,
+    seed: int = 0,
+    sla_ms: float = 10.0,
+) -> Dict[str, object]:
+    """One §6.2 run: ``setup`` is 'elastic' or a fixed server count."""
+    sizing = SCALES[scale]
+    duration = sizing.elastic_duration_ms
+    elastic = setup == "elastic"
+    start_servers = 8 if elastic else int(setup)
+    testbed = make_testbed("aeon", start_servers, instance_type=M1_SMALL, seed=seed)
+    testbed.cluster.boot_delay_ms = 1500.0
+    # 32 rooms so the fleet can usefully grow beyond 16 servers.
+    config = GameConfig(rooms=32, players_per_room=4, shared_items_per_room=2)
+    app = build_game(testbed.runtime, config, "aeon", servers=testbed.servers)
+    manager = None
+    if elastic:
+        storage = CloudStorage(testbed.sim)
+        policy = SLAPolicy(sla_ms=sla_ms, scale_out_step=4, min_servers=4,
+                           max_servers=40, scale_in_fraction=0.25,
+                           headroom=0.45)
+        manager = EManager(
+            testbed.runtime, storage, policy, M1_SMALL,
+            report_interval_ms=1000.0, max_concurrent_migrations=8,
+        )
+        manager.start()
+    profile = RampProfile.normal_peak(
+        duration, machines=8, min_per_machine=1, max_per_machine=16
+    )
+    clients = DynamicClients(
+        testbed.runtime,
+        app.sample_op,
+        profile,
+        think_ms=12.0,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+    )
+    clients.start()
+    testbed.sim.run(until=duration + 5000.0)
+    if manager is not None:
+        manager.stop()
+    # Latency time series (1 s buckets) and server-count series.
+    latency_series = testbed.runtime.latency.windowed_mean(1000.0, duration)
+    if manager is not None:
+        server_series = manager.server_count_series
+        avg_servers = server_series.mean_value()
+    else:
+        count = len(testbed.cluster.alive_servers())
+        server_series = None
+        avg_servers = float(count)
+    report = sla_report(
+        setup, testbed.runtime.latency, sla_ms, avg_servers, since_ms=0.0
+    )
+    return {
+        "setup": setup,
+        "latency_series": latency_series.points,
+        "server_series": server_series.points if server_series else None,
+        "client_series": clients.active_series,
+        "sla": report,
+    }
+
+
+def fig7(scale: str = "quick", seed: int = 0) -> Dict[str, Dict[str, object]]:
+    """Latency and server-count time series: elastic vs static setups."""
+    setups = ["elastic", "8", "16", "32"]
+    return {setup: _elastic_game_run(setup, scale, seed) for setup in setups}
+
+
+def table1(scale: str = "quick", seed: int = 0) -> List[Dict[str, object]]:
+    """SLA violation percentage and average servers per setup."""
+    rows = []
+    for setup in ("8", "16", "22", "32", "elastic"):
+        run = _elastic_game_run(setup, scale, seed)
+        report = run["sla"]
+        rows.append(
+            {
+                "setup": f"{setup}-server" if setup != "elastic" else "Elastic",
+                "violation_pct": report.violation_pct,
+                "avg_servers": report.avg_servers,
+                "requests": report.total_requests,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — migration impact on throughput
+# ----------------------------------------------------------------------
+def fig8(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[float, float]]]:
+    """Throughput time series while migrating 1/8/12 of 20 Rooms."""
+    sizing = SCALES[scale]
+    duration = sizing.migration_duration_ms
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for n_migrations in (1, 8, 12):
+        testbed = make_testbed("aeon", 20, instance_type=M1_SMALL, seed=seed)
+        config = GameConfig(rooms=20, players_per_room=4, shared_items_per_room=2)
+        app = build_game(testbed.runtime, config, "aeon", servers=testbed.servers)
+        storage = CloudStorage(testbed.sim)
+        host = Server(testbed.sim, "~emanager", M3_LARGE)
+        testbed.network.register(host.name, host.mailbox, M3_LARGE)
+        coordinator = MigrationCoordinator(testbed.runtime, storage, host)
+        clients = ClosedLoopClients(
+            testbed.runtime,
+            app.sample_op,
+            n_clients=120,
+            think_ms=10.0,
+            rng=testbed.rng,
+            stop_at_ms=duration,
+        )
+        clients.start()
+
+        def migrate_rooms(n=n_migrations, tb=testbed, coord=coordinator):
+            yield tb.sim.timeout(duration * 0.4)
+            handles = []
+            for i in range(n):
+                src_room = f"room-{i}"
+                dst = tb.servers[(i + 1) % len(tb.servers)]
+                if tb.runtime.placement[src_room] == dst.name:
+                    dst = tb.servers[(i + 2) % len(tb.servers)]
+                handles.append(coord.migrate(src_room, dst))
+            for handle in handles:
+                yield handle
+
+        testbed.sim.process(migrate_rooms())
+        testbed.sim.run(until=duration + 5000.0)
+        window = testbed.runtime.throughput.windowed_rate(250.0, duration)
+        series[f"{n_migrations} contexts"] = window.points
+    return series
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — eManager migration throughput by instance type
+# ----------------------------------------------------------------------
+def fig9(scale: str = "quick", seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Max contexts/s the eManager migrates, per instance type and size."""
+    sizing = SCALES[scale]
+    batch = sizing.emanager_batch
+    results: Dict[str, Dict[str, float]] = {}
+    for itype_name in ("m1.large", "m1.medium", "m1.small"):
+        itype = INSTANCE_TYPES[itype_name]
+        results[itype_name] = {}
+        for label, size_bytes in (("1KB", 1024), ("1MB", 1_000_000)):
+            testbed = make_testbed("aeon", 2, instance_type=itype, seed=seed)
+
+            class Payload(Room):
+                pass
+
+            Payload.size_bytes = size_bytes
+            refs = []
+            for i in range(batch):
+                refs.append(
+                    testbed.runtime.create_context(
+                        Payload, server=testbed.servers[0],
+                        name=f"payload-{i}", args=(i,),
+                    )
+                )
+            storage = CloudStorage(testbed.sim)
+            host = Server(testbed.sim, "~emanager", itype)
+            testbed.network.register(host.name, host.mailbox, itype)
+            coordinator = MigrationCoordinator(testbed.runtime, storage, host)
+
+            def pump():
+                window = 4  # concurrent migrations in flight
+                pending = []
+                for ref in refs:
+                    pending.append(coordinator.migrate(ref.cid, testbed.servers[1]))
+                    if len(pending) >= window:
+                        yield pending.pop(0)
+                for handle in pending:
+                    yield handle
+
+            start = testbed.sim.now
+            testbed.sim.run_process(pump())
+            elapsed_s = (testbed.sim.now - start) / 1000.0
+            results[itype_name][label] = batch / elapsed_s if elapsed_s > 0 else 0.0
+    return results
+
+
+# ----------------------------------------------------------------------
+# Ablation — chain release on/off (beyond the paper)
+# ----------------------------------------------------------------------
+def ablation_chain_release(scale: str = "quick", seed: int = 0) -> Dict[str, float]:
+    """TPC-C throughput with and without chain (early) release."""
+    sizing = SCALES[scale]
+    out = {}
+    for label, early in (("chain-release", True), ("hold-till-commit", False)):
+        costs = DEFAULT_COSTS.with_(early_release=early)
+        testbed = make_testbed("aeon_so", 4, seed=seed, costs=costs)
+        config = TpccConfig(districts=4, customers_per_district=10)
+        deployment = build_tpcc(
+            testbed.runtime, config, False, servers=testbed.servers
+        )
+        workload = TpccWorkload(deployment, "aeon_so")
+        clients = ClosedLoopClients(
+            testbed.runtime, workload.sample_op,
+            n_clients=sizing.tpcc_clients_per_server * 4,
+            think_ms=5.0, rng=testbed.rng,
+            stop_at_ms=sizing.tpcc_duration_ms,
+        )
+        clients.start()
+        testbed.sim.run(until=sizing.tpcc_duration_ms + 15000.0)
+        result = measure("aeon_so", testbed, clients.n_clients,
+                         sizing.tpcc_warmup_ms, sizing.tpcc_duration_ms)
+        out[label] = result.throughput_per_s
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rendering and CLI
+# ----------------------------------------------------------------------
+def _render_fig5a(data) -> str:
+    systems = list(data)
+    counts = [n for n, _ in data[systems[0]]]
+    rows = []
+    for i, n in enumerate(counts):
+        rows.append([n] + [round(data[s][i][1]) for s in systems])
+    return format_table("Fig 5a — game scale-out (events/s)", ["servers"] + systems, rows)
+
+
+def _render_curve(title, data) -> str:
+    lines = [title, ""]
+    for system, points in data.items():
+        lines.append(f"[{system}]")
+        for x, y in points:
+            lines.append(f"  {x:10.1f}  {y:10.2f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _render_table1(rows) -> str:
+    return format_table(
+        "Table 1 — SLA performance and cost",
+        ["setup", "% requests > SLA", "avg servers", "requests"],
+        [
+            [r["setup"], round(r["violation_pct"], 1), round(r["avg_servers"], 1), r["requests"]]
+            for r in rows
+        ],
+    )
+
+
+def _render_fig9(data) -> str:
+    rows = [
+        [itype, round(sizes["1KB"], 1), round(sizes["1MB"], 1)]
+        for itype, sizes in data.items()
+    ]
+    return format_table(
+        "Fig 9 — eManager max migration throughput (contexts/s)",
+        ["instance", "1KB", "1MB"],
+        rows,
+    )
+
+
+ALL_EXPERIMENTS: Dict[str, Callable] = {
+    "fig5a": fig5a,
+    "fig5b": fig5b,
+    "fig6a": fig6a,
+    "fig6b": fig6b,
+    "fig7": fig7,
+    "table1": table1,
+    "fig8": fig8,
+    "fig9": fig9,
+    "ablation": ablation_chain_release,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run and print selected experiments."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=sorted(ALL_EXPERIMENTS), default=None)
+    parser.add_argument("--all", action="store_true")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    chosen = sorted(ALL_EXPERIMENTS) if args.all else [args.figure or "fig5a"]
+    for name in chosen:
+        data = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        print(render(name, data))
+        print()
+    return 0
+
+
+def render(name: str, data) -> str:
+    """Human-readable rendering for any experiment's result."""
+    if name == "fig5a":
+        return _render_fig5a(data)
+    if name == "fig5b":
+        return _render_curve("Fig 5b — game latency vs throughput (thr/s, ms)", data)
+    if name == "fig6a":
+        return _render_fig5a(data).replace("Fig 5a — game", "Fig 6a — TPC-C")
+    if name == "fig6b":
+        return _render_curve("Fig 6b — TPC-C latency vs throughput (txn/s, ms)", data)
+    if name == "fig7":
+        lines = ["Fig 7 — elastic vs static (mean latency per setup)", ""]
+        for setup, run in data.items():
+            values = [v for _t, v in run["latency_series"]]
+            lines.append(
+                f"  {setup:>8}: mean={mean(values):6.2f} ms  "
+                f"peak={max(values) if values else 0:6.2f} ms  "
+                f"violations={run['sla'].violation_pct:5.1f}%"
+            )
+        return "\n".join(lines)
+    if name == "table1":
+        return _render_table1(data)
+    if name == "fig8":
+        lines = ["Fig 8 — throughput while migrating Room contexts", ""]
+        for label, points in data.items():
+            values = [v for _t, v in points]
+            steady = mean(values[:4]) if len(values) >= 4 else mean(values)
+            dip = min(values) if values else 0.0
+            lines.append(f"  {label:>12}: steady={steady:7.1f}/s  dip={dip:7.1f}/s")
+        return "\n".join(lines)
+    if name == "fig9":
+        return _render_fig9(data)
+    if name == "ablation":
+        return format_table(
+            "Ablation — chain release (TPC-C, AEON_SO, 4 servers)",
+            ["mode", "events/s"],
+            [[k, round(v, 1)] for k, v in data.items()],
+        )
+    return repr(data)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned text table with a title line."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    lines = [title, ""]
+    header = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series_by_label: Dict[str, List[tuple]],
+    x_name: str = "t",
+    y_name: str = "value",
+) -> str:
+    """Render one or more (x, y) series as aligned columns."""
+    lines = [title, ""]
+    for label, points in series_by_label.items():
+        lines.append(f"[{label}]")
+        lines.append(f"  {x_name:>12}  {y_name:>12}")
+        for x, y in points:
+            lines.append(f"  {_cell(x):>12}  {_cell(y):>12}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,177 @@
+"""Experiment runner: build a cluster + runtime + app, drive, measure.
+
+Every figure in EXPERIMENTS.md is produced through :func:`run_game` /
+:func:`run_tpcc` (plus the elasticity/migration drivers in
+:mod:`repro.harness.experiments`), so all experiments share one
+measurement discipline: fixed warmup cut, fixed measurement window,
+deterministic seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from ..apps.game import GameApp, GameConfig, build_game
+from ..baselines import EventWaveRuntime, OrleansRuntime
+from ..core.costs import CostModel, DEFAULT_COSTS
+from ..core.protocol import AeonRuntime
+from ..core.runtime import RuntimeBase
+from ..sim.cluster import Cluster, InstanceType, M3_LARGE, Server
+from ..sim.kernel import Simulator
+from ..sim.network import Network
+from ..sim.rng import RngRegistry
+from ..workloads.generators import ClosedLoopClients
+
+__all__ = [
+    "SYSTEMS",
+    "runtime_class_for",
+    "Testbed",
+    "make_testbed",
+    "RunResult",
+    "run_game",
+]
+
+#: The five measured systems, in the paper's legend order.
+SYSTEMS = ("eventwave", "orleans", "orleans_star", "aeon_so", "aeon")
+
+_RUNTIME_FOR: Dict[str, Type[RuntimeBase]] = {
+    "aeon": AeonRuntime,
+    "aeon_so": AeonRuntime,
+    "eventwave": EventWaveRuntime,
+    "orleans": OrleansRuntime,
+    "orleans_star": OrleansRuntime,
+}
+
+
+def runtime_class_for(system: str) -> Type[RuntimeBase]:
+    """The runtime class executing ``system`` (variants share runtimes)."""
+    try:
+        return _RUNTIME_FOR[system]
+    except KeyError:
+        raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}") from None
+
+
+@dataclass
+class Testbed:
+    """One simulated deployment: simulator, network, cluster, runtime."""
+
+    sim: Simulator
+    network: Network
+    cluster: Cluster
+    runtime: RuntimeBase
+    servers: List[Server]
+    rng: RngRegistry
+
+
+def make_testbed(
+    system: str,
+    n_servers: int,
+    instance_type: InstanceType = M3_LARGE,
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+    record_history: bool = False,
+) -> Testbed:
+    """Build a fresh simulated cluster running ``system``."""
+    sim = Simulator()
+    cluster = Cluster(sim)
+    network = Network(sim)
+    servers = [cluster.add_server(instance_type) for _ in range(n_servers)]
+    runtime = runtime_class_for(system)(
+        sim, network, cluster, costs=costs, record_history=record_history
+    )
+    return Testbed(
+        sim=sim,
+        network=network,
+        cluster=cluster,
+        runtime=runtime,
+        servers=servers,
+        rng=RngRegistry(seed),
+    )
+
+
+@dataclass
+class RunResult:
+    """Metrics of one measured run."""
+
+    system: str
+    n_servers: int
+    n_clients: int
+    throughput_per_s: float
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    completed: int
+    errors: int
+    duration_ms: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def run_game(
+    system: str,
+    n_servers: int,
+    n_clients: int,
+    duration_ms: float = 4000.0,
+    warmup_ms: float = 1000.0,
+    think_ms: float = 1.0,
+    config: Optional[GameConfig] = None,
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+    record_history: bool = False,
+) -> Tuple[RunResult, Testbed, GameApp]:
+    """Run the game under closed-loop load and measure steady state."""
+    testbed = make_testbed(
+        system, n_servers, costs=costs, seed=seed, record_history=record_history
+    )
+    game_config = config or GameConfig(rooms=n_servers)
+    app = build_game(testbed.runtime, game_config, system, servers=testbed.servers)
+    clients = ClosedLoopClients(
+        testbed.runtime,
+        app.sample_op,
+        n_clients=n_clients,
+        think_ms=think_ms,
+        rng=testbed.rng,
+        stop_at_ms=duration_ms,
+    )
+    clients.start()
+    testbed.sim.run(until=duration_ms + 2000.0)
+    result = measure(system, testbed, n_clients, warmup_ms, duration_ms)
+    result.errors = len(clients.errors)
+    return result, testbed, app
+
+
+def measure(
+    system: str,
+    testbed: Testbed,
+    n_clients: int,
+    warmup_ms: float,
+    duration_ms: float,
+) -> RunResult:
+    """Extract steady-state metrics from a finished run."""
+    runtime = testbed.runtime
+    window = duration_ms - warmup_ms
+    completed = runtime.throughput.count_between(warmup_ms, duration_ms)
+    latencies = [
+        s.latency_ms
+        for s in runtime.latency.samples
+        if warmup_ms <= s.end_ms < duration_ms
+    ]
+    latencies.sort()
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(p / 100.0 * (len(latencies) - 1)))]
+
+    return RunResult(
+        system=system,
+        n_servers=len(testbed.cluster.servers),
+        n_clients=n_clients,
+        throughput_per_s=completed / (window / 1000.0) if window > 0 else 0.0,
+        mean_latency_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+        p50_latency_ms=pct(50.0),
+        p99_latency_ms=pct(99.0),
+        completed=completed,
+        errors=0,
+        duration_ms=duration_ms,
+    )

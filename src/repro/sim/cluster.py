@@ -1,0 +1,160 @@
+"""Simulated servers and EC2-like instance types.
+
+The paper deploys on ``m3.large`` (scalability experiments), ``m1.small``
+(elastic game cluster) and ``m1.large``/``m1.medium``/``m1.small``
+(migration-throughput microbenchmark, Fig. 9).  An instance type here is
+a CPU core count, a relative speed factor and a NIC bandwidth — enough to
+reproduce the relative ordering of those setups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from .kernel import Simulator
+from .queues import Resource, Store
+
+__all__ = [
+    "InstanceType",
+    "M1_SMALL",
+    "M1_MEDIUM",
+    "M1_LARGE",
+    "M3_LARGE",
+    "INSTANCE_TYPES",
+    "Server",
+    "Cluster",
+]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """An EC2-like machine shape.
+
+    ``speed`` scales CPU costs (1.0 = one m1.small-class core);
+    ``nic_gbps`` bounds migration/transfer bandwidth.
+    """
+
+    name: str
+    cores: int
+    speed: float
+    nic_gbps: float
+
+    def cpu_ms(self, work_ms: float) -> float:
+        """Wall milliseconds one core needs for ``work_ms`` of unit work."""
+        return work_ms / self.speed
+
+
+M1_SMALL = InstanceType("m1.small", cores=1, speed=1.0, nic_gbps=0.25)
+M1_MEDIUM = InstanceType("m1.medium", cores=1, speed=2.0, nic_gbps=0.45)
+M1_LARGE = InstanceType("m1.large", cores=2, speed=2.0, nic_gbps=0.7)
+M3_LARGE = InstanceType("m3.large", cores=2, speed=2.6, nic_gbps=0.7)
+
+INSTANCE_TYPES: Dict[str, InstanceType] = {
+    t.name: t for t in (M1_SMALL, M1_MEDIUM, M1_LARGE, M3_LARGE)
+}
+
+
+class Server:
+    """A simulated machine: CPU cores, NIC, a mailbox, and accounting.
+
+    Runtimes place contexts/grains on servers; executing application or
+    protocol work occupies a core for the scaled duration.  The mailbox
+    is the single in-order channel used by :class:`repro.sim.network.Network`.
+    """
+
+    def __init__(self, sim: Simulator, name: str, itype: InstanceType) -> None:
+        self.sim = sim
+        self.name = name
+        self.itype = itype
+        self.cpu = Resource(sim, capacity=itype.cores, name=f"cpu:{name}")
+        self.mailbox: Store = Store(sim, name=f"mbox:{name}")
+        self.context_count = 0
+        self.alive = True
+        self._util_mark_busy = 0.0
+        self._util_mark_time = 0.0
+
+    def execute(self, work_ms: float) -> Generator:
+        """Generator: occupy one core for ``work_ms`` of unit work.
+
+        The wall-clock duration is scaled by the instance speed; if all
+        cores are busy the request queues FIFO — this queueing is what
+        produces saturation knees in the throughput figures.
+        """
+        yield from self.cpu.use(self.itype.cpu_ms(work_ms))
+
+    # ------------------------------------------------------------------
+    # Utilization reporting (consumed by the eManager)
+    # ------------------------------------------------------------------
+    def utilization_window(self) -> float:
+        """CPU utilization (0..1) since the previous call to this method."""
+        busy = self.cpu.busy_core_ms()
+        now = self.sim.now
+        elapsed = now - self._util_mark_time
+        delta = busy - self._util_mark_busy
+        self._util_mark_busy = busy
+        self._util_mark_time = now
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, delta / (elapsed * self.cpu.capacity))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Server {self.name} ({self.itype.name})>"
+
+
+class Cluster:
+    """A named collection of servers with a provisioning pool.
+
+    ``provision``/``decommission`` model elastic scale-out/in: a newly
+    provisioned server becomes usable only after ``boot_delay_ms``
+    (the paper's elastic experiment pays this as migration lead time).
+    """
+
+    def __init__(self, sim: Simulator, boot_delay_ms: float = 8000.0) -> None:
+        self.sim = sim
+        self.boot_delay_ms = boot_delay_ms
+        self.servers: Dict[str, Server] = {}
+        self._counter = 0
+
+    def add_server(self, itype: InstanceType, name: Optional[str] = None) -> Server:
+        """Immediately add a booted server (initial deployment)."""
+        self._counter += 1
+        name = name or f"server-{self._counter}"
+        if name in self.servers:
+            raise ValueError(f"duplicate server name {name!r}")
+        server = Server(self.sim, name, itype)
+        self.servers[name] = server
+        return server
+
+    def provision(self, itype: InstanceType) -> "ProvisionHandle":
+        """Start booting a new server; ready after ``boot_delay_ms``."""
+        server = self.add_server(itype)
+        server.alive = False
+        ready = self.sim.signal(name=f"boot:{server.name}")
+
+        def booted() -> None:
+            server.alive = True
+            ready.succeed(server)
+
+        self.sim.schedule(self.boot_delay_ms, booted)
+        return ProvisionHandle(server, ready)
+
+    def decommission(self, name: str) -> None:
+        """Remove a (drained) server from the cluster."""
+        server = self.servers.pop(name)
+        server.alive = False
+
+    def alive_servers(self) -> Dict[str, Server]:
+        """Servers currently booted and usable."""
+        return {n: s for n, s in self.servers.items() if s.alive}
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+
+@dataclass
+class ProvisionHandle:
+    """A server being booted plus the signal firing when it is usable."""
+
+    server: Server
+    ready: "object"

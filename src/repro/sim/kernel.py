@@ -1,0 +1,333 @@
+"""Discrete-event simulation kernel.
+
+This module is the substrate on which the whole reproduction runs.  The
+paper evaluated AEON on EC2 with a C++ runtime; a Python thread-based
+reproduction would measure GIL contention rather than protocol behaviour,
+so instead every runtime (AEON, EventWave, Orleans) executes on this
+deterministic simulator.  The kernel is deliberately small and SimPy-like:
+
+* :class:`Simulator` owns the virtual clock and the event heap.
+* :class:`Signal` is a one-shot occurrence that processes can wait on.
+* :class:`Timeout` is a signal that fires after a virtual delay.
+* :class:`Process` drives a generator; each ``yield`` suspends the process
+  until the yielded waitable triggers.
+
+Time is a float in **milliseconds** throughout the repository; this makes
+the paper's numbers (latencies of a few ms, SLA of 10 ms) read naturally.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Signal",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. waiting on a consumed signal)."""
+
+
+class Signal:
+    """A one-shot occurrence with a value or an exception.
+
+    A signal starts *pending*; it is completed exactly once with either
+    :meth:`succeed` or :meth:`fail`.  Processes wait on signals by
+    yielding them.  Multiple processes may wait on the same signal.
+    """
+
+    __slots__ = ("sim", "callbacks", "_triggered", "value", "exc", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Signal"], None]] = []
+        self._triggered = False
+        self.value: Any = None
+        self.exc: Optional[BaseException] = None
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        """True once the signal has succeeded or failed."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the signal completed without an exception."""
+        return self._triggered and self.exc is None
+
+    def succeed(self, value: Any = None) -> "Signal":
+        """Complete the signal successfully, waking all waiters now."""
+        self._complete(value, None)
+        return self
+
+    def fail(self, exc: BaseException) -> "Signal":
+        """Complete the signal with an exception.
+
+        The exception is re-raised inside every waiting process at its
+        ``yield`` site.
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._complete(None, exc)
+        return self
+
+    def _complete(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._triggered:
+            raise SimulationError(f"signal {self.name!r} completed twice")
+        self._triggered = True
+        self.value = value
+        self.exc = exc
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0.0, callback, self)
+
+    def add_callback(self, callback: Callable[["Signal"], None]) -> None:
+        """Invoke *callback(signal)* when the signal completes.
+
+        If the signal already completed, the callback runs at the current
+        simulation time (still asynchronously, via the event heap).
+        """
+        if self._triggered:
+            self.sim.schedule(0.0, callback, self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._triggered else "pending"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class Timeout(Signal):
+    """A signal that succeeds after ``delay`` virtual milliseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class AllOf(Signal):
+    """Succeeds when every child signal has completed.
+
+    The value is the list of child values in the order given.  If any
+    child fails, this fails with the first failure (but only after all
+    children completed, keeping lock bookkeeping in higher layers simple).
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", children: Iterable[Signal]) -> None:
+        super().__init__(sim, name="all_of")
+        self._children = list(children)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._child_done)
+
+    def _child_done(self, _child: Signal) -> None:
+        self._remaining -= 1
+        if self._remaining > 0:
+            return
+        first_failure = next((c.exc for c in self._children if c.exc), None)
+        if first_failure is not None:
+            self.fail(first_failure)
+        else:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Signal):
+    """Succeeds when the first child signal completes.
+
+    The value is ``(index, value)`` of the first completed child; a child
+    failure fails this signal.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", children: Iterable[Signal]) -> None:
+        super().__init__(sim, name="any_of")
+        children = list(children)
+        if not children:
+            raise ValueError("AnyOf requires at least one child")
+        for index, child in enumerate(children):
+            child.add_callback(self._make_child_done(index))
+
+    def _make_child_done(self, index: int) -> Callable[[Signal], None]:
+        def on_done(child: Signal) -> None:
+            if self.triggered:
+                return
+            if child.exc is not None:
+                self.fail(child.exc)
+            else:
+                self.succeed((index, child.value))
+
+        return on_done
+
+
+class Process(Signal):
+    """A generator-driven simulated activity.
+
+    The generator may yield:
+
+    * any :class:`Signal` (including :class:`Timeout`, another
+      :class:`Process`, :class:`AllOf`, :class:`AnyOf`) — the process
+      resumes with the signal's value, or the signal's exception is
+      raised at the yield site;
+    * ``None`` — resume on the next scheduler step (a cooperative hop).
+
+    The process itself is a signal: it succeeds with the generator's
+    return value, or fails with its uncaught exception.
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        sim.schedule(0.0, self._step, _Resume(None, None))
+
+    def _step(self, resume: "_Resume") -> None:
+        try:
+            if resume.exc is not None:
+                target = self._generator.throw(resume.exc)
+            else:
+                target = self._generator.send(resume.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must reach waiters
+            self.fail(exc)
+            return
+        if target is None:
+            self.sim.schedule(0.0, self._step, _Resume(None, None))
+        elif isinstance(target, Signal):
+            target.add_callback(self._on_wait_done)
+        else:
+            error = SimulationError(
+                f"process {self.name!r} yielded non-waitable {target!r}"
+            )
+            self.sim.schedule(0.0, self._step, _Resume(None, error))
+
+    def _on_wait_done(self, signal: Signal) -> None:
+        self._step(_Resume(signal.value, signal.exc))
+
+
+class _Resume:
+    """What to feed back into a process generator on its next step."""
+
+    __slots__ = ("value", "exc")
+
+    def __init__(self, value: Any, exc: Optional[BaseException]) -> None:
+        self.value = value
+        self.exc = exc
+
+
+class Simulator:
+    """The virtual clock and scheduler.
+
+    Determinism: scheduled callbacks with equal fire times run in
+    scheduling order (a monotonically increasing sequence number breaks
+    ties), so a fixed program + fixed RNG seeds always produces identical
+    traces.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Any] = []
+        self._sequence = 0
+        self._step_count = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` virtual milliseconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, args))
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh pending :class:`Signal`."""
+        return Signal(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a signal firing after ``delay`` ms."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn a new process driving ``generator``."""
+        return Process(self, generator, name)
+
+    def all_of(self, children: Iterable[Signal]) -> AllOf:
+        """Signal that completes when all ``children`` complete."""
+        return AllOf(self, children)
+
+    def any_of(self, children: Iterable[Signal]) -> AnyOf:
+        """Signal that completes when the first child completes."""
+        return AnyOf(self, children)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_steps: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        ``until`` stops the clock at that virtual time (events scheduled
+        later stay queued); ``max_steps`` bounds the number of callbacks
+        (a safety valve against accidental infinite loops).  Returns the
+        final clock value.
+        """
+        while self._heap:
+            fire_at, _seq, callback, args = self._heap[0]
+            if until is not None and fire_at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = fire_at
+            self._step_count += 1
+            if max_steps is not None and self._step_count > max_steps:
+                raise SimulationError(f"exceeded max_steps={max_steps}")
+            callback(*args)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "",
+                    until: Optional[float] = None) -> Any:
+        """Convenience: spawn ``generator`` and run until it completes.
+
+        Returns the process return value; re-raises its exception.
+        """
+        proc = self.process(generator, name)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(f"process {proc.name!r} did not finish")
+        if proc.exc is not None:
+            raise proc.exc
+        return proc.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of callbacks still queued on the heap."""
+        return len(self._heap)

@@ -1,0 +1,181 @@
+"""Measurement utilities: latency records, throughput series, percentiles.
+
+The experiment harness asks every runtime the same questions the paper
+asks its testbed: completed events per second (scaling figures), the
+latency distribution (performance figures), latency/server-count time
+series (elasticity figures) and windowed throughput (migration figures).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LatencySample",
+    "LatencyRecorder",
+    "ThroughputRecorder",
+    "TimeSeries",
+    "percentile",
+    "mean",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile (0..100) by nearest-rank; 0.0 if empty."""
+    if not values:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile out of range: {pct}")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One completed request: submission time, completion time, tag."""
+
+    start_ms: float
+    end_ms: float
+    tag: str = ""
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency in milliseconds."""
+        return self.end_ms - self.start_ms
+
+
+class LatencyRecorder:
+    """Collects completed-request samples and answers latency questions."""
+
+    def __init__(self) -> None:
+        self.samples: List[LatencySample] = []
+
+    def record(self, start_ms: float, end_ms: float, tag: str = "") -> None:
+        """Record one completed request."""
+        if end_ms < start_ms:
+            raise ValueError("request completed before it started")
+        self.samples.append(LatencySample(start_ms, end_ms, tag))
+
+    def latencies(self, since_ms: float = 0.0, tag: Optional[str] = None) -> List[float]:
+        """Latency values completed at/after ``since_ms`` (optionally by tag)."""
+        return [
+            s.latency_ms
+            for s in self.samples
+            if s.end_ms >= since_ms and (tag is None or s.tag == tag)
+        ]
+
+    def count(self, since_ms: float = 0.0) -> int:
+        """Number of completions at/after ``since_ms``."""
+        return sum(1 for s in self.samples if s.end_ms >= since_ms)
+
+    def mean_latency(self, since_ms: float = 0.0) -> float:
+        """Mean latency of completions at/after ``since_ms``."""
+        return mean(self.latencies(since_ms))
+
+    def percentile_latency(self, pct: float, since_ms: float = 0.0) -> float:
+        """Latency percentile of completions at/after ``since_ms``."""
+        return percentile(self.latencies(since_ms), pct)
+
+    def fraction_over(self, threshold_ms: float, since_ms: float = 0.0) -> float:
+        """Fraction of requests with latency > threshold (SLA accounting)."""
+        lats = self.latencies(since_ms)
+        if not lats:
+            return 0.0
+        return sum(1 for value in lats if value > threshold_ms) / len(lats)
+
+    def windowed_mean(self, window_ms: float, horizon_ms: float) -> "TimeSeries":
+        """Mean latency per ``window_ms`` bucket over [0, horizon)."""
+        buckets: Dict[int, List[float]] = {}
+        for sample in self.samples:
+            if sample.end_ms >= horizon_ms:
+                continue
+            buckets.setdefault(int(sample.end_ms // window_ms), []).append(
+                sample.latency_ms
+            )
+        points = [
+            ((index + 0.5) * window_ms, mean(values))
+            for index, values in sorted(buckets.items())
+        ]
+        return TimeSeries(points)
+
+
+class ThroughputRecorder:
+    """Counts completions; reports rates over intervals and windows."""
+
+    def __init__(self) -> None:
+        self.completion_times: List[float] = []
+
+    def record(self, end_ms: float) -> None:
+        """Record one completion at virtual time ``end_ms``.
+
+        Completions arrive in nondecreasing time order from a single
+        simulator, so an append keeps the list sorted.
+        """
+        self.completion_times.append(end_ms)
+
+    def count_between(self, start_ms: float, end_ms: float) -> int:
+        """Completions in the half-open interval [start, end)."""
+        lo = bisect.bisect_left(self.completion_times, start_ms)
+        hi = bisect.bisect_left(self.completion_times, end_ms)
+        return hi - lo
+
+    def rate_per_s(self, start_ms: float, end_ms: float) -> float:
+        """Throughput (completions/second) over [start, end)."""
+        span = end_ms - start_ms
+        if span <= 0:
+            return 0.0
+        return self.count_between(start_ms, end_ms) / (span / 1000.0)
+
+    def windowed_rate(self, window_ms: float, horizon_ms: float) -> "TimeSeries":
+        """Throughput per ``window_ms`` bucket over [0, horizon)."""
+        points: List[Tuple[float, float]] = []
+        start = 0.0
+        while start < horizon_ms:
+            end = min(start + window_ms, horizon_ms)
+            points.append(((start + end) / 2.0, self.rate_per_s(start, end)))
+            start = end
+        return TimeSeries(points)
+
+
+@dataclass
+class TimeSeries:
+    """A list of ``(time_ms, value)`` points with small conveniences."""
+
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, time_ms: float, value: float) -> None:
+        """Append one point."""
+        self.points.append((time_ms, value))
+
+    def values(self) -> List[float]:
+        """All y-values."""
+        return [value for _t, value in self.points]
+
+    def times(self) -> List[float]:
+        """All x-values (milliseconds)."""
+        return [time_ms for time_ms, _v in self.points]
+
+    def mean_value(self) -> float:
+        """Mean of the y-values."""
+        return mean(self.values())
+
+    def max_value(self) -> float:
+        """Max of the y-values (0.0 if empty)."""
+        return max(self.values()) if self.points else 0.0
+
+    def resample(self, times: Iterable[float]) -> "TimeSeries":
+        """Step-function resample at the given times (previous-point hold)."""
+        result = TimeSeries()
+        xs = self.times()
+        for t in times:
+            idx = bisect.bisect_right(xs, t) - 1
+            result.add(t, self.points[idx][1] if idx >= 0 else 0.0)
+        return result

@@ -1,0 +1,175 @@
+"""Message transport between simulated endpoints.
+
+Endpoints (servers, clients, the eManager) register a mailbox under a
+name.  ``send`` delivers a payload after propagation latency plus
+transmission time (size / sender NIC bandwidth).  Two properties matter
+to the runtimes built on top:
+
+* **FIFO per sender→receiver pair** — the AEON dominator protocol and the
+  EventWave root sequencer both assume ordered channels; the transport
+  enforces nondecreasing delivery times per pair.
+* **Bandwidth serialization per sender** — large transfers (context
+  migrations) queue on the sender's egress link, which is what bounds the
+  eManager migration throughput in Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .cluster import InstanceType
+from .kernel import Signal, Simulator
+from .queues import Store
+
+__all__ = ["Message", "Network", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered payload with its envelope."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    sent_at_ms: float
+
+
+class LatencyModel:
+    """Propagation latency between endpoints.
+
+    Default: ``same_host_ms`` when src == dst, ``lan_ms`` otherwise (one
+    intra-datacenter hop, the paper's EC2 placement).  Subclass or pass a
+    custom function for other topologies.
+    """
+
+    def __init__(self, lan_ms: float = 0.25, same_host_ms: float = 0.01) -> None:
+        self.lan_ms = lan_ms
+        self.same_host_ms = same_host_ms
+
+    def latency_ms(self, src: str, dst: str) -> float:
+        """One-way propagation latency from ``src`` to ``dst``."""
+        return self.same_host_ms if src == dst else self.lan_ms
+
+
+class Network:
+    """The datacenter fabric connecting all registered endpoints."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        default_gbps: float = 0.7,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self.default_gbps = default_gbps
+        self._mailboxes: Dict[str, Store] = {}
+        self._egress_gbps: Dict[str, float] = {}
+        # Egress link busy-until time per sender, for bandwidth FIFO.
+        self._egress_free_at: Dict[str, float] = {}
+        # Last delivery time per (src, dst), for per-pair FIFO.
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        mailbox: Optional[Store] = None,
+        itype: Optional[InstanceType] = None,
+    ) -> Store:
+        """Register an endpoint; returns its mailbox (created if absent)."""
+        if name in self._mailboxes:
+            raise ValueError(f"endpoint {name!r} already registered")
+        box = mailbox if mailbox is not None else Store(self.sim, name=f"mbox:{name}")
+        self._mailboxes[name] = box
+        self._egress_gbps[name] = itype.nic_gbps if itype else self.default_gbps
+        return box
+
+    def unregister(self, name: str) -> None:
+        """Remove an endpoint (e.g. a decommissioned server)."""
+        self._mailboxes.pop(name, None)
+        self._egress_gbps.pop(name, None)
+
+    def mailbox(self, name: str) -> Store:
+        """The mailbox of a registered endpoint."""
+        return self._mailboxes[name]
+
+    def is_registered(self, name: str) -> bool:
+        """Whether ``name`` is a known endpoint."""
+        return name in self._mailboxes
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size_bytes: int = 256,
+        on_delivered: Optional[Callable[[Message], None]] = None,
+    ) -> None:
+        """Deliver ``payload`` from ``src`` to ``dst``.
+
+        Delivery time = egress queueing + size/bandwidth + propagation,
+        clamped to preserve per-(src, dst) FIFO order.  Unknown
+        destinations raise ``KeyError`` immediately (the caller — e.g.
+        a client with a stale context map — handles redirection at a
+        higher layer).
+        """
+        if dst not in self._mailboxes:
+            raise KeyError(f"unknown endpoint {dst!r}")
+        now = self.sim.now
+        gbps = self._egress_gbps.get(src, self.default_gbps)
+        transmit_ms = (size_bytes * 8) / (gbps * 1e6) if gbps > 0 else 0.0
+        start = max(now, self._egress_free_at.get(src, 0.0))
+        finish = start + transmit_ms
+        self._egress_free_at[src] = finish
+        deliver_at = finish + self.latency.latency_ms(src, dst)
+        last = self._last_delivery.get((src, dst), 0.0)
+        deliver_at = max(deliver_at, last)
+        self._last_delivery[(src, dst)] = deliver_at
+        message = Message(src, dst, payload, size_bytes, now)
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+
+        def deliver() -> None:
+            box = self._mailboxes.get(dst)
+            if box is None:
+                return  # endpoint vanished mid-flight (decommissioned)
+            box.put(message)
+            if on_delivered is not None:
+                on_delivered(message)
+
+        self.sim.schedule(deliver_at - now, deliver)
+
+    def delay_signal(self, src: str, dst: str, size_bytes: int = 256) -> "Signal":
+        """A signal firing when a message of ``size_bytes`` would arrive.
+
+        Process-style runtimes (where the event itself is a simulator
+        process) use this instead of mailbox delivery: the event yields
+        the signal to 'travel' between servers.  Shares the egress link
+        and per-pair FIFO bookkeeping with :meth:`send`, so in-flight
+        ordering between the two styles stays consistent.
+        """
+        now = self.sim.now
+        gbps = self._egress_gbps.get(src, self.default_gbps)
+        transmit_ms = (size_bytes * 8) / (gbps * 1e6) if gbps > 0 else 0.0
+        start = max(now, self._egress_free_at.get(src, 0.0))
+        finish = start + transmit_ms
+        self._egress_free_at[src] = finish
+        deliver_at = finish + self.latency.latency_ms(src, dst)
+        last = self._last_delivery.get((src, dst), 0.0)
+        deliver_at = max(deliver_at, last)
+        self._last_delivery[(src, dst)] = deliver_at
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        signal = self.sim.signal(name=f"net:{src}->{dst}")
+        self.sim.schedule(deliver_at - now, signal.succeed, None)
+        return signal

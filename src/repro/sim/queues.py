@@ -1,0 +1,180 @@
+"""Waitable queues and resources for simulated processes.
+
+Three primitives cover everything the runtimes need:
+
+* :class:`Store` — an unbounded FIFO of items; ``get()`` returns a signal
+  that fires when an item is available.  Context mailboxes, event queues
+  and grain mailboxes are all Stores.
+* :class:`Resource` — a counted resource with FIFO admission; server CPU
+  cores are Resources.
+* :class:`Notifier` — a broadcast condition variable; the locking layer
+  uses it to re-evaluate admission predicates when lock state changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional
+
+from .kernel import Signal, SimulationError, Simulator
+
+__all__ = ["Store", "Resource", "Notifier"]
+
+
+class Store:
+    """Unbounded FIFO store of items with waitable ``get``.
+
+    Puts never block.  Gets are served strictly in request order, which
+    keeps per-channel message delivery FIFO — a property the AEON
+    protocol relies on for its dominator ordering.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Signal:
+        """Return a signal yielding the next item (FIFO)."""
+        signal = self.sim.signal(name=f"get:{self.name}")
+        if self.items:
+            signal.succeed(self.items.popleft())
+        else:
+            self._getters.append(signal)
+        return signal
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of get() calls currently blocked."""
+        return len(self._getters)
+
+
+class Resource:
+    """A counted resource with FIFO admission (e.g. CPU cores).
+
+    Usage from a process generator::
+
+        grant = resource.request()
+        yield grant
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(grant)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Signal] = deque()
+        # Accumulated busy core-milliseconds, for utilization accounting.
+        self._busy_ms = 0.0
+        self._last_change = 0.0
+
+    def request(self) -> Signal:
+        """Return a signal that fires once a unit is granted."""
+        grant = self.sim.signal(name=f"grant:{self.name}")
+        if self.in_use < self.capacity:
+            self._account()
+            self.in_use += 1
+            grant.succeed(grant)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self, grant: Signal) -> None:
+        """Release a previously granted unit."""
+        if not grant.triggered:
+            raise SimulationError("releasing a grant that was never acquired")
+        self._account()
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(waiter)
+        else:
+            self.in_use -= 1
+            if self.in_use < 0:
+                raise SimulationError(f"resource {self.name!r} over-released")
+
+    def use(self, service_ms: float) -> Generator:
+        """Generator helper: acquire, hold for ``service_ms``, release."""
+        grant = self.request()
+        yield grant
+        try:
+            yield self.sim.timeout(service_ms)
+        finally:
+            self.release(grant)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_ms += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_core_ms(self) -> float:
+        """Total accumulated busy core-milliseconds since t=0."""
+        self._account()
+        return self._busy_ms
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiters)
+
+
+class Notifier:
+    """Broadcast condition variable.
+
+    ``wait()`` returns a signal completed by the next ``notify_all()``.
+    ``wait_for(predicate)`` spawns a helper loop that re-checks the
+    predicate after every notification and completes once it holds.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiters: List[Signal] = []
+
+    def wait(self) -> Signal:
+        """Signal completed by the next :meth:`notify_all`."""
+        signal = self.sim.signal(name=f"wait:{self.name}")
+        self._waiters.append(signal)
+        return signal
+
+    def notify_all(self) -> None:
+        """Wake every currently waiting signal."""
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed(None)
+
+    def wait_for(self, predicate: Callable[[], bool]) -> Signal:
+        """Signal that completes once ``predicate()`` is true.
+
+        The predicate is evaluated immediately and then after every
+        notification.
+        """
+        done = self.sim.signal(name=f"wait_for:{self.name}")
+
+        def check(_signal: Optional[Signal] = None) -> None:
+            if done.triggered:
+                return
+            if predicate():
+                done.succeed(None)
+            else:
+                self.wait().add_callback(check)
+
+        check()
+        return done

@@ -1,0 +1,13 @@
+"""Workload generators and SLA accounting."""
+
+from .generators import ClosedLoopClients, DynamicClients, OpSampler, RampProfile
+from .sla import SlaReport, sla_report
+
+__all__ = [
+    "ClosedLoopClients",
+    "DynamicClients",
+    "OpSampler",
+    "RampProfile",
+    "SlaReport",
+    "sla_report",
+]

@@ -1,0 +1,46 @@
+"""SLA accounting (§6.2 and Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.metrics import LatencyRecorder
+
+__all__ = ["SlaReport", "sla_report"]
+
+
+@dataclass(frozen=True)
+class SlaReport:
+    """Table 1's row: violation percentage and resource usage."""
+
+    setup: str
+    sla_ms: float
+    total_requests: int
+    violations: int
+    avg_servers: float
+
+    @property
+    def violation_pct(self) -> float:
+        """Percentage of requests exceeding the SLA."""
+        if self.total_requests == 0:
+            return 0.0
+        return 100.0 * self.violations / self.total_requests
+
+
+def sla_report(
+    setup: str,
+    recorder: LatencyRecorder,
+    sla_ms: float,
+    avg_servers: float,
+    since_ms: float = 0.0,
+) -> SlaReport:
+    """Build one Table 1 row from a latency recorder."""
+    latencies = recorder.latencies(since_ms=since_ms)
+    violations = sum(1 for value in latencies if value > sla_ms)
+    return SlaReport(
+        setup=setup,
+        sla_ms=sla_ms,
+        total_requests=len(latencies),
+        violations=violations,
+        avg_servers=avg_servers,
+    )

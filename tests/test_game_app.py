@@ -1,0 +1,162 @@
+"""Tests for the game application across all five system wirings."""
+
+import pytest
+from random import Random
+
+from repro.apps.game import GAME_VARIANTS, GameConfig, build_game
+from repro.harness.runner import make_testbed
+from repro.workloads import ClosedLoopClients
+
+
+def build(system, n_servers=2, **config_kwargs):
+    testbed = make_testbed(system, n_servers, record_history=True)
+    defaults = dict(rooms=n_servers, players_per_room=4, shared_items_per_room=2)
+    defaults.update(config_kwargs)
+    config = GameConfig(**defaults)
+    app = build_game(testbed.runtime, config, system, servers=testbed.servers)
+    return testbed, app
+
+
+def drive(testbed, app, n_ops=60, seed=3):
+    client = testbed.runtime.register_client("driver")
+    rng = Random(seed)
+    done = []
+    for _ in range(n_ops):
+        spec, tag = app.sample_op(rng)
+        done.append(client.submit(spec, tag=tag))
+    testbed.sim.run(until=testbed.sim.now + 120000)
+    return done
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GameConfig(p_private=0.9, p_shared=0.2, p_readonly=0.2).validate()
+    with pytest.raises(ValueError):
+        GameConfig(rooms=0).validate()
+    GameConfig().validate()
+
+
+def test_unknown_variant_rejected():
+    testbed = make_testbed("aeon", 2)
+    with pytest.raises(ValueError):
+        build_game(testbed.runtime, GameConfig(rooms=2), "nope",
+                   servers=testbed.servers)
+
+
+@pytest.mark.parametrize("system", GAME_VARIANTS)
+def test_game_runs_on_every_system(system):
+    testbed, app = build(system)
+    done = drive(testbed, app)
+    assert all(d.triggered for d in done), f"stuck events on {system}"
+    errors = [d.value.error for d in done if d.value.error]
+    assert not errors, f"{system}: {errors[:2]}"
+
+
+@pytest.mark.parametrize("system", ["aeon", "aeon_so", "eventwave", "orleans"])
+def test_game_strict_serializability(system):
+    """All systems except Orleans* guarantee strict serializability."""
+    testbed, app = build(system)
+    drive(testbed, app, n_ops=80)
+    testbed.runtime.check_history()
+
+
+@pytest.mark.parametrize("system", GAME_VARIANTS)
+def test_gold_conserved(system):
+    """Private gold moves conserve the total across mine+treasure."""
+    testbed, app = build(system)
+    initial = app.total_gold()
+    drive(testbed, app, n_ops=80)
+    assert app.total_gold() == initial
+
+
+def test_aeon_colocates_rooms():
+    testbed, app = build("aeon", n_servers=2)
+    runtime = testbed.runtime
+    for room_idx, room in enumerate(app.rooms):
+        room_server = runtime.placement[room.cid]
+        for player in app.players[room_idx]:
+            assert runtime.placement[player.cid] == room_server
+
+
+def test_orleans_scatters_grains():
+    testbed, app = build("orleans_star", n_servers=2,
+                         players_per_room=8)
+    runtime = testbed.runtime
+    hosts = {runtime.placement[p.cid] for ps in app.players for p in ps}
+    assert len(hosts) == 2  # spread, not co-located
+
+
+def test_multi_ownership_dominators():
+    testbed, app = build("aeon")
+    runtime = testbed.runtime
+    config = app.config
+    sharers = max(1, int(round(config.players_per_room * config.sharers_fraction)))
+    for room_idx, room in enumerate(app.rooms):
+        players = app.players[room_idx]
+        for i, player in enumerate(players):
+            dom = runtime.ownership.dominator(player.cid)
+            if i < sharers:
+                assert dom == room.cid  # shares items -> room sequences
+            else:
+                assert dom == player.cid  # private -> parallel
+
+
+def test_single_ownership_has_no_item_sharing():
+    testbed, app = build("aeon_so")
+    runtime = testbed.runtime
+    for ps in app.players:
+        for player in ps:
+            assert len(runtime.instance_of(player).shared_items) == 0
+
+
+def test_update_time_of_day_fans_out():
+    testbed, app = build("aeon")
+    client = testbed.runtime.register_client("tick")
+    done = client.submit(app.building.update_time_of_day(7))
+    testbed.sim.run(until=60000)
+    assert done.triggered and done.value.error is None
+    runtime = testbed.runtime
+    for room in app.rooms:
+        assert runtime.instance_of(room).time_of_day == 7
+    for ps in app.players:
+        for player in ps:
+            assert runtime.instance_of(player).time_of_day == 7
+
+
+def test_count_players_readonly():
+    testbed, app = build("aeon")
+    client = testbed.runtime.register_client("counter")
+    done = client.submit(app.building.count_players())
+    testbed.sim.run(until=60000)
+    event = done.value
+    assert event.error is None
+    assert event.result == sum(len(ps) for ps in app.players)
+    assert event.writes == {}
+
+
+def test_shared_op_targets_room_in_so_variants():
+    for system in ("aeon_so", "eventwave"):
+        testbed, app = build(system)
+        rng = Random(0)
+        seen_room_target = False
+        for _ in range(200):
+            spec, tag = app.sample_op(rng)
+            if tag == "shared":
+                assert spec.target.endswith(tuple(r.cid for r in app.rooms)) or \
+                    spec.target in {r.cid for r in app.rooms}
+                seen_room_target = True
+        assert seen_room_target
+
+
+def test_sampled_mix_matches_weights():
+    testbed, app = build("aeon")
+    rng = Random(1)
+    tags = {"private": 0, "shared": 0, "readonly": 0}
+    n = 3000
+    for _ in range(n):
+        _spec, tag = app.sample_op(rng)
+        tags[tag] += 1
+    config = app.config
+    assert tags["private"] / n == pytest.approx(config.p_private, abs=0.05)
+    assert tags["shared"] / n == pytest.approx(config.p_shared, abs=0.05)
+    assert tags["readonly"] / n == pytest.approx(config.p_readonly, abs=0.05)

@@ -1,0 +1,215 @@
+"""Unit tests for ContextLock and the serializability checker."""
+
+import pytest
+
+from repro.core.events import AccessMode, CallSpec, Event
+from repro.core.history import HistoryRecorder, SerializabilityViolation
+from repro.core.locking import ContextLock
+from repro.sim.kernel import Simulator
+
+
+def make_event(eid, mode=AccessMode.EX):
+    return Event(eid, CallSpec("ctx", "m"), mode, "client", 0.0)
+
+
+# ----------------------------------------------------------------------
+# ContextLock
+# ----------------------------------------------------------------------
+def test_first_exclusive_granted_immediately():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    grant, owned = lock.request(make_event(1))
+    assert grant.triggered and owned
+    assert lock.holders() == [1]
+
+
+def test_second_exclusive_waits_for_release():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    e1, e2 = make_event(1), make_event(2)
+    g1, _ = lock.request(e1)
+    g2, _ = lock.request(e2)
+    assert g1.triggered and not g2.triggered
+    assert lock.queue_length == 1
+    lock.release(e1)
+    assert g2.triggered
+    assert lock.holders() == [2]
+
+
+def test_readonly_events_share():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    r1 = make_event(1, AccessMode.RO)
+    r2 = make_event(2, AccessMode.RO)
+    g1, _ = lock.request(r1)
+    g2, _ = lock.request(r2)
+    assert g1.triggered and g2.triggered
+    assert sorted(lock.holders()) == [1, 2]
+
+
+def test_exclusive_waits_for_all_readers():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    r1 = make_event(1, AccessMode.RO)
+    r2 = make_event(2, AccessMode.RO)
+    w = make_event(3, AccessMode.EX)
+    lock.request(r1)
+    lock.request(r2)
+    gw, _ = lock.request(w)
+    assert not gw.triggered
+    lock.release(r1)
+    assert not gw.triggered
+    lock.release(r2)
+    assert gw.triggered
+
+
+def test_fifo_reader_does_not_overtake_queued_writer():
+    """Starvation freedom: a reader arriving after a queued writer waits."""
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    r1 = make_event(1, AccessMode.RO)
+    w = make_event(2, AccessMode.EX)
+    r2 = make_event(3, AccessMode.RO)
+    lock.request(r1)
+    gw, _ = lock.request(w)
+    gr2, _ = lock.request(r2)
+    assert not gw.triggered and not gr2.triggered
+    lock.release(r1)
+    assert gw.triggered and not gr2.triggered
+    lock.release(w)
+    assert gr2.triggered
+
+
+def test_consecutive_readers_admitted_together():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    w = make_event(1, AccessMode.EX)
+    r1 = make_event(2, AccessMode.RO)
+    r2 = make_event(3, AccessMode.RO)
+    lock.request(w)
+    g1, _ = lock.request(r1)
+    g2, _ = lock.request(r2)
+    lock.release(w)
+    assert g1.triggered and g2.triggered
+
+
+def test_request_idempotent_for_holder():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    event = make_event(1)
+    lock.request(event)
+    again, owned = lock.request(event)
+    assert again.triggered and not owned
+    assert lock.holders() == [1]
+
+
+def test_request_shares_pending_grant():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    e1, e2 = make_event(1), make_event(2)
+    lock.request(e1)
+    first, owned_first = lock.request(e2)
+    second, owned_second = lock.request(e2)
+    assert first is second
+    assert owned_first and not owned_second
+
+
+def test_release_cancels_pending_reservation():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    e1, e2, e3 = make_event(1), make_event(2), make_event(3)
+    lock.request(e1)
+    lock.request(e2)
+    g3, _ = lock.request(e3)
+    lock.release(e2)  # e2 aborts its reservation
+    lock.release(e1)
+    assert g3.triggered
+    assert lock.holders() == [3]
+
+
+def test_double_release_tolerated():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    event = make_event(1)
+    lock.request(event)
+    lock.release(event)
+    lock.release(event)  # no-op
+    assert not lock.is_held()
+
+
+def test_acquisition_counter():
+    sim = Simulator()
+    lock = ContextLock(sim, "c")
+    for eid in range(3):
+        event = make_event(eid)
+        lock.request(event)
+        lock.release(event)
+    assert lock.total_acquisitions == 3
+
+
+# ----------------------------------------------------------------------
+# HistoryRecorder
+# ----------------------------------------------------------------------
+def test_empty_history_is_valid():
+    recorder = HistoryRecorder()
+    recorder.check()
+    assert recorder.is_strictly_serializable()
+
+
+def test_serial_writers_valid():
+    recorder = HistoryRecorder()
+    recorder.commit(1, "a", 0.0, 1.0, reads={}, writes={"x": 1})
+    recorder.commit(2, "b", 2.0, 3.0, reads={}, writes={"x": 2})
+    recorder.check()
+    assert recorder.serial_order() == [1, 2]
+
+
+def test_conflict_cycle_detected():
+    recorder = HistoryRecorder()
+    # 1 wrote x before 2 (x: v1 -> v2), but 2 wrote y before 1.
+    recorder.commit(1, "", 0.0, 5.0, reads={}, writes={"x": 1, "y": 2})
+    recorder.commit(2, "", 0.0, 5.0, reads={}, writes={"x": 2, "y": 1})
+    with pytest.raises(SerializabilityViolation):
+        recorder.check()
+    assert recorder.serial_order() is None
+
+
+def test_read_write_ordering_edges():
+    recorder = HistoryRecorder()
+    recorder.commit(1, "", 0.0, 1.0, reads={}, writes={"x": 1})
+    recorder.commit(2, "", 1.5, 2.0, reads={"x": 1}, writes={})
+    recorder.commit(3, "", 2.5, 3.0, reads={}, writes={"x": 2})
+    edges = recorder.conflict_edges()
+    assert (1, 2) in edges  # reader follows its writer
+    assert (2, 3) in edges  # reader precedes the next writer
+    assert (1, 3) in edges  # write-write order
+    recorder.check()
+
+
+def test_real_time_violation_detected():
+    recorder = HistoryRecorder()
+    # Event 2 commits long before event 1 starts, yet event 1 precedes
+    # it in the version order: a strictness violation.
+    recorder.commit(1, "", 100.0, 110.0, reads={}, writes={"x": 1})
+    recorder.commit(2, "", 0.0, 1.0, reads={}, writes={"x": 2})
+    with pytest.raises(SerializabilityViolation) as excinfo:
+        recorder.check()
+    assert "real-time" in str(excinfo.value)
+
+
+def test_disjoint_events_any_order_valid():
+    recorder = HistoryRecorder()
+    recorder.commit(1, "", 0.0, 10.0, reads={}, writes={"x": 1})
+    recorder.commit(2, "", 0.0, 10.0, reads={}, writes={"y": 1})
+    recorder.check()
+    assert set(recorder.serial_order()) == {1, 2}
+
+
+def test_readers_of_same_version_unordered():
+    recorder = HistoryRecorder()
+    recorder.commit(1, "", 0.0, 1.0, reads={}, writes={"x": 1})
+    recorder.commit(2, "", 1.0, 2.0, reads={"x": 1}, writes={})
+    recorder.commit(3, "", 1.0, 2.0, reads={"x": 1}, writes={})
+    edges = recorder.conflict_edges()
+    assert (2, 3) not in edges and (3, 2) not in edges
+    recorder.check()

@@ -1,0 +1,121 @@
+"""Unit tests for metrics recorders and the RNG registry."""
+
+import pytest
+
+from repro.sim.metrics import (
+    LatencyRecorder,
+    ThroughputRecorder,
+    TimeSeries,
+    mean,
+    percentile,
+)
+from repro.sim.rng import RngRegistry
+
+
+def test_mean_empty_and_values():
+    assert mean([]) == 0.0
+    assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+def test_percentile_nearest_rank():
+    values = list(range(1, 101))
+    assert percentile(values, 0) == 1
+    assert percentile(values, 50) == pytest.approx(50, abs=1)
+    assert percentile(values, 100) == 100
+
+
+def test_percentile_bounds_checked():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_latency_recorder_basics():
+    rec = LatencyRecorder()
+    rec.record(0.0, 5.0, tag="a")
+    rec.record(10.0, 12.0, tag="b")
+    assert rec.count() == 2
+    assert rec.mean_latency() == pytest.approx(3.5)
+    assert rec.latencies(tag="a") == [5.0]
+
+
+def test_latency_recorder_rejects_time_travel():
+    rec = LatencyRecorder()
+    with pytest.raises(ValueError):
+        rec.record(5.0, 4.0)
+
+
+def test_latency_since_filter():
+    rec = LatencyRecorder()
+    rec.record(0.0, 1.0)
+    rec.record(0.0, 100.0)
+    assert rec.count(since_ms=50.0) == 1
+
+
+def test_fraction_over_threshold():
+    rec = LatencyRecorder()
+    for latency in (1.0, 2.0, 20.0, 30.0):
+        rec.record(0.0, latency)
+    assert rec.fraction_over(10.0) == pytest.approx(0.5)
+    assert LatencyRecorder().fraction_over(10.0) == 0.0
+
+
+def test_windowed_mean_buckets():
+    rec = LatencyRecorder()
+    rec.record(0.0, 1.0)    # latency 1, ends at 1
+    rec.record(0.0, 9.0)    # latency 9, ends at 9
+    rec.record(10.0, 15.0)  # latency 5, ends at 15
+    series = rec.windowed_mean(window_ms=10.0, horizon_ms=20.0)
+    assert series.points[0][1] == pytest.approx(5.0)
+    assert series.points[1][1] == pytest.approx(5.0)
+
+
+def test_throughput_rates():
+    rec = ThroughputRecorder()
+    for t in (1.0, 2.0, 3.0, 11.0):
+        rec.record(t)
+    assert rec.count_between(0.0, 10.0) == 3
+    assert rec.rate_per_s(0.0, 10.0) == pytest.approx(300.0)
+    assert rec.rate_per_s(5.0, 5.0) == 0.0
+
+
+def test_throughput_windowed_series():
+    rec = ThroughputRecorder()
+    for t in (1.0, 2.0, 12.0):
+        rec.record(t)
+    series = rec.windowed_rate(window_ms=10.0, horizon_ms=20.0)
+    assert [v for _t, v in series.points] == [pytest.approx(200.0), pytest.approx(100.0)]
+
+
+def test_time_series_helpers():
+    series = TimeSeries()
+    series.add(0.0, 1.0)
+    series.add(10.0, 3.0)
+    assert series.mean_value() == pytest.approx(2.0)
+    assert series.max_value() == 3.0
+    resampled = series.resample([5.0, 15.0])
+    assert resampled.values() == [1.0, 3.0]
+
+
+def test_time_series_resample_before_first_point():
+    series = TimeSeries([(10.0, 5.0)])
+    assert series.resample([0.0]).values() == [0.0]
+
+
+def test_rng_streams_are_independent_and_stable():
+    reg = RngRegistry(42)
+    a1 = [reg.stream("a").random() for _ in range(3)]
+    reg2 = RngRegistry(42)
+    b = reg2.stream("b")  # created before "a": order must not matter
+    _ = b.random()
+    a2 = [reg2.stream("a").random() for _ in range(3)]
+    assert a1 == a2
+
+
+def test_rng_different_seeds_differ():
+    assert RngRegistry(1).stream("x").random() != RngRegistry(2).stream("x").random()
+
+
+def test_rng_fork_is_deterministic():
+    f1 = RngRegistry(7).fork("child").stream("s").random()
+    f2 = RngRegistry(7).fork("child").stream("s").random()
+    assert f1 == f2

@@ -1,0 +1,197 @@
+"""Unit tests for the network transport and cluster model."""
+
+import pytest
+
+from repro.sim.cluster import (
+    Cluster,
+    INSTANCE_TYPES,
+    M1_LARGE,
+    M1_MEDIUM,
+    M1_SMALL,
+    M3_LARGE,
+    Server,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.network import LatencyModel, Network
+
+
+# ----------------------------------------------------------------------
+# Network
+# ----------------------------------------------------------------------
+def test_send_delivers_after_latency():
+    sim = Simulator()
+    net = Network(sim, latency=LatencyModel(lan_ms=0.5))
+    box = net.register("dst")
+    net.register("src")
+    net.send("src", "dst", {"k": 1}, size_bytes=0)
+    sim.run()
+    assert len(box) == 1
+    message = box.items[0]
+    assert message.payload == {"k": 1}
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_same_host_latency_is_cheap():
+    model = LatencyModel(lan_ms=0.25, same_host_ms=0.01)
+    assert model.latency_ms("a", "a") == 0.01
+    assert model.latency_ms("a", "b") == 0.25
+
+
+def test_send_to_unknown_endpoint_raises():
+    sim = Simulator()
+    net = Network(sim)
+    net.register("src")
+    with pytest.raises(KeyError):
+        net.send("src", "ghost", "payload")
+
+
+def test_register_duplicate_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.register("a")
+    with pytest.raises(ValueError):
+        net.register("a")
+
+
+def test_fifo_per_pair():
+    sim = Simulator()
+    net = Network(sim)
+    box = net.register("dst")
+    net.register("src")
+    # A big message then a small one: the small one must not overtake.
+    net.send("src", "dst", "big", size_bytes=10_000_000)
+    net.send("src", "dst", "small", size_bytes=1)
+    sim.run()
+    assert [m.payload for m in box.items] == ["big", "small"]
+
+
+def test_bandwidth_serializes_on_sender_egress():
+    sim = Simulator()
+    net = Network(sim, default_gbps=0.001)  # deliberately tiny pipe
+    net.register("dst")
+    net.register("src")
+    one_mb = 1_000_000
+    done1 = net.delay_signal("src", "dst", size_bytes=one_mb)
+    done2 = net.delay_signal("src", "dst", size_bytes=one_mb)
+    sim.run()
+    # 1 MB at 0.001 Gbps = 8000 ms each; second waits for the first.
+    assert done1.triggered and done2.triggered
+    assert sim.now == pytest.approx(2 * 8000.0, rel=0.01)
+
+
+def test_delay_signal_counts_traffic():
+    sim = Simulator()
+    net = Network(sim)
+    net.register("a")
+    net.register("b")
+    net.delay_signal("a", "b", size_bytes=100)
+    assert net.messages_sent == 1
+    assert net.bytes_sent == 100
+
+
+def test_unregister_drops_in_flight_silently():
+    sim = Simulator()
+    net = Network(sim)
+    net.register("dst")
+    net.register("src")
+    net.send("src", "dst", "hello")
+    net.unregister("dst")
+    sim.run()  # no exception: the message is dropped
+    assert not net.is_registered("dst")
+
+
+# ----------------------------------------------------------------------
+# Instance types and servers
+# ----------------------------------------------------------------------
+def test_instance_catalogue():
+    assert set(INSTANCE_TYPES) == {"m1.small", "m1.medium", "m1.large", "m3.large"}
+    assert M1_SMALL.cores == 1
+    assert M1_LARGE.cores == 2
+    assert M3_LARGE.speed > M1_SMALL.speed
+
+
+def test_cpu_scaling_by_speed():
+    assert M1_SMALL.cpu_ms(10.0) == pytest.approx(10.0)
+    assert M1_MEDIUM.cpu_ms(10.0) == pytest.approx(5.0)
+
+
+def test_server_execute_occupies_scaled_time():
+    sim = Simulator()
+    server = Server(sim, "s", M1_MEDIUM)
+
+    def body():
+        yield from server.execute(10.0)
+
+    sim.run_process(body())
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_server_cores_parallelism():
+    sim = Simulator()
+    server = Server(sim, "s", M1_LARGE)  # 2 cores, speed 2
+
+    def body():
+        yield from server.execute(10.0)
+
+    for _ in range(4):
+        sim.process(body())
+    sim.run()
+    # 4 jobs x 5ms wall each over 2 cores = 10ms.
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_server_utilization_window():
+    sim = Simulator()
+    server = Server(sim, "s", M1_SMALL)
+
+    def body():
+        yield from server.execute(5.0)
+
+    sim.process(body())
+    sim.run(until=10.0)
+    util = server.utilization_window()
+    assert util == pytest.approx(0.5)
+    # A second call over an idle window reports ~0.
+    sim.run(until=20.0)
+    assert server.utilization_window() == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# Cluster provisioning
+# ----------------------------------------------------------------------
+def test_add_server_unique_names():
+    sim = Simulator()
+    cluster = Cluster(sim)
+    cluster.add_server(M1_SMALL, "x")
+    with pytest.raises(ValueError):
+        cluster.add_server(M1_SMALL, "x")
+
+
+def test_provision_boot_delay():
+    sim = Simulator()
+    cluster = Cluster(sim, boot_delay_ms=100.0)
+    handle = cluster.provision(M1_SMALL)
+    assert not handle.server.alive
+    sim.run()
+    assert handle.server.alive
+    assert handle.ready.triggered
+    assert sim.now == pytest.approx(100.0)
+
+
+def test_alive_servers_excludes_booting():
+    sim = Simulator()
+    cluster = Cluster(sim, boot_delay_ms=50.0)
+    cluster.add_server(M1_SMALL, "up")
+    cluster.provision(M1_SMALL)
+    assert set(cluster.alive_servers()) == {"up"}
+    sim.run()
+    assert len(cluster.alive_servers()) == 2
+
+
+def test_decommission_removes_server():
+    sim = Simulator()
+    cluster = Cluster(sim)
+    cluster.add_server(M1_SMALL, "gone")
+    cluster.decommission("gone")
+    assert "gone" not in cluster.servers
+    assert len(cluster) == 0

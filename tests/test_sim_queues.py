@@ -1,0 +1,210 @@
+"""Unit tests for Store, Resource and Notifier."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.queues import Notifier, Resource, Store
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+
+    def body():
+        value = yield store.get()
+        return value
+
+    assert sim.run_process(body()) == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer():
+        yield sim.timeout(5.0)
+        store.put("late")
+
+    def consumer():
+        value = yield store.get()
+        return value, sim.now
+
+    sim.process(producer())
+    assert sim.run_process(consumer()) == ("late", 5.0)
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    for item in (1, 2, 3):
+        store.put(item)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    sim.run_process(consumer())
+    assert got == [1, 2, 3]
+
+
+def test_store_getters_served_in_request_order():
+    sim = Simulator()
+    store = Store(sim)
+    results = []
+
+    def consumer(name):
+        value = yield store.get()
+        results.append((name, value))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+    sim.schedule(1.0, store.put, "a")
+    sim.schedule(2.0, store.put, "b")
+    sim.run()
+    assert results == [("first", "a"), ("second", "b")]
+
+
+def test_store_len_and_waiting():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    assert len(store) == 1
+    sim.run()
+    assert store.waiting_getters == 0
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_capacity_enforced():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    active = []
+    peak = []
+
+    def worker(i):
+        yield from res.use(10.0)
+        peak.append(res.in_use)
+
+    def tracker():
+        yield sim.timeout(5.0)
+        active.append(res.in_use)
+
+    for i in range(5):
+        sim.process(worker(i))
+    sim.process(tracker())
+    sim.run()
+    assert active == [2]
+    assert sim.now == 30.0  # 5 jobs x 10ms over 2 slots
+
+
+def test_resource_fifo_admission():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(name):
+        grant = res.request()
+        yield grant
+        order.append(name)
+        yield sim.timeout(1.0)
+        res.release(grant)
+
+    for name in ("a", "b", "c"):
+        sim.process(worker(name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_release_unacquired_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    grant = sim.signal("fake")
+    with pytest.raises(SimulationError):
+        res.release(grant)
+
+
+def test_resource_busy_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def worker():
+        yield from res.use(8.0)
+
+    sim.run_process(worker())
+    assert res.busy_core_ms() == pytest.approx(8.0)
+
+
+def test_resource_queue_length():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def worker():
+        yield from res.use(5.0)
+
+    sim.process(worker())
+    sim.process(worker())
+    sim.run(until=1.0)
+    assert res.queue_length == 1
+
+
+# ----------------------------------------------------------------------
+# Notifier
+# ----------------------------------------------------------------------
+def test_notifier_wakes_all_waiters():
+    sim = Simulator()
+    gate = Notifier(sim)
+    woken = []
+
+    def waiter(name):
+        yield gate.wait()
+        woken.append((name, sim.now))
+
+    sim.process(waiter("a"))
+    sim.process(waiter("b"))
+    sim.schedule(3.0, gate.notify_all)
+    sim.run()
+    assert woken == [("a", 3.0), ("b", 3.0)]
+
+
+def test_notifier_wait_for_predicate_already_true():
+    sim = Simulator()
+    gate = Notifier(sim)
+
+    def body():
+        yield gate.wait_for(lambda: True)
+        return sim.now
+
+    assert sim.run_process(body()) == 0.0
+
+
+def test_notifier_wait_for_predicate_becomes_true():
+    sim = Simulator()
+    gate = Notifier(sim)
+    state = {"ready": False}
+
+    def flipper():
+        yield sim.timeout(2.0)
+        gate.notify_all()  # not ready yet
+        yield sim.timeout(2.0)
+        state["ready"] = True
+        gate.notify_all()
+
+    def body():
+        yield gate.wait_for(lambda: state["ready"])
+        return sim.now
+
+    sim.process(flipper())
+    assert sim.run_process(body()) == 4.0
