@@ -49,6 +49,9 @@ class EventWaveRuntime(RuntimeBase):
         self._ticket = 0
         self._halted = False
         self._halt_gate = Notifier(self.sim, "eventwave-halt")
+        # The tree root, recomputed only when contexts change (it is
+        # consulted on every event).
+        self._root_cache: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Tree enforcement
@@ -66,10 +69,18 @@ class EventWaveRuntime(RuntimeBase):
         owners = kwargs.get("owners") or (args[1] if len(args) > 1 else ())
         if owners is not None and len(list(owners)) > 1:
             raise SingleOwnershipError("EventWave contexts accept a single owner")
+        self._root_cache = None
         return super().create_context(*args, **kwargs)
 
     def root_context(self) -> str:
         """The unique tree root every event is sequenced at."""
+        cached = self._root_cache
+        if (
+            cached is not None
+            and cached in self.ownership
+            and not self.ownership.parents(cached)
+        ):
+            return cached
         roots = [
             cid for cid in self.ownership.roots() if not self.ownership.is_virtual(cid)
         ]
@@ -77,6 +88,7 @@ class EventWaveRuntime(RuntimeBase):
             raise AeonError(
                 f"EventWave requires exactly one root context, found {sorted(roots)}"
             )
+        self._root_cache = roots[0]
         return roots[0]
 
     # ------------------------------------------------------------------
@@ -100,7 +112,7 @@ class EventWaveRuntime(RuntimeBase):
         root = self.root_context()
         root_server = self.server_of(root)
         # Clients always submit through the root (it orders everything).
-        yield self.network.delay_signal(client.name, root_server.name, costs.client_msg_bytes)
+        yield self.network.delay_ms(client.name, root_server.name, costs.client_msg_bytes)
         if self._halted:
             yield self._halt_gate.wait_for(lambda: not self._halted)
         # Serial sequencing at the root: the global bottleneck.
@@ -109,7 +121,7 @@ class EventWaveRuntime(RuntimeBase):
         yield grant
         branch = Branch(event)
         try:
-            yield from self._exec(root_server, costs.eventwave_root_cpu_ms)
+            yield self._charge(root_server, costs.eventwave_root_cpu_ms)
             self._ticket += 1
             event.started_ms = self.sim.now
             event.dom = root
@@ -125,16 +137,20 @@ class EventWaveRuntime(RuntimeBase):
         for cid in path[1:]:
             nxt = self.server_of(cid)
             if nxt.name != current.name:
-                yield from self._hop(event, current, nxt.name, costs.proto_msg_bytes)
+                yield self._charge(current, costs.net_cpu_ms)
+                event.hops += 1
+                yield self.network.delay_ms(current.name, nxt.name, costs.proto_msg_bytes)
                 current = nxt
-            yield from self._exec(nxt, costs.eventwave_forward_cpu_ms)
+            yield self._charge(nxt, costs.eventwave_forward_cpu_ms)
 
         target_server = self.server_of(spec.target)
         if current.name != target_server.name:
-            yield from self._hop(
-                event, current, target_server.name, costs.proto_msg_bytes
+            yield self._charge(current, costs.net_cpu_ms)
+            event.hops += 1
+            yield self.network.delay_ms(
+                current.name, target_server.name, costs.proto_msg_bytes
             )
-        yield from self._exec(target_server, costs.lock_cpu_ms)
+        yield self._charge(target_server, costs.lock_cpu_ms)
         yield target_reserved
         try:
             event.result = yield from self._drive_body(event, spec, branch)
@@ -145,7 +161,9 @@ class EventWaveRuntime(RuntimeBase):
             self._branch_closed(event)
         event.committed_ms = self.sim.now
         reply_from = self.server_of(spec.target)
-        yield from self._hop(event, reply_from, client.name, costs.client_msg_bytes)
+        yield self._charge(reply_from, costs.net_cpu_ms)
+        event.hops += 1
+        yield self.network.delay_ms(reply_from.name, client.name, costs.client_msg_bytes)
 
     def _root_sequencer(self) -> Resource:
         if self._sequencer is None:
@@ -164,18 +182,25 @@ class EventWaveRuntime(RuntimeBase):
         caller_cid: str,
     ) -> Generator:
         reserved = self._reserve_path(event, branch, caller_cid, spec.target)
-        current = yield from self._claim_reserved(event, reserved, caller_server)
+        if reserved:
+            current = yield from self._claim_reserved(event, reserved, caller_server)
+        else:
+            current = caller_server
         callee_server = self.server_of(spec.target)
         if current.name != callee_server.name:
-            yield from self._hop(
-                event, current, callee_server.name, self.costs.proto_msg_bytes
+            yield self._charge(current, self.costs.net_cpu_ms)
+            event.hops += 1
+            yield self.network.delay_ms(
+                current.name, callee_server.name, self.costs.proto_msg_bytes
             )
-        yield from self._exec(callee_server, self.costs.route_cpu_ms)
+        yield self._charge(callee_server, self.costs.route_cpu_ms)
         result = yield from self._drive_body(event, spec, branch)
         landed = self.server_of(spec.target)
         if landed.name != caller_server.name:
-            yield from self._hop(
-                event, landed, caller_server.name, self.costs.proto_msg_bytes
+            yield self._charge(landed, self.costs.net_cpu_ms)
+            event.hops += 1
+            yield self.network.delay_ms(
+                landed.name, caller_server.name, self.costs.proto_msg_bytes
             )
         return result
 

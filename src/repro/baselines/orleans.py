@@ -71,20 +71,22 @@ class OrleansRuntime(RuntimeBase):
         costs = self.costs
         spec = event.spec
         cached_name = client.locate(spec.target)
-        yield self.network.delay_signal(client.name, cached_name, costs.client_msg_bytes)
+        yield self.network.delay_ms(client.name, cached_name, costs.client_msg_bytes)
         grain_server = self.server_of(spec.target)
         if cached_name != grain_server.name:
             stale_server = self.cluster.servers.get(cached_name)
             if stale_server is not None:
-                yield from self._hop(
-                    event, stale_server, grain_server.name, costs.client_msg_bytes
+                yield self._charge(stale_server, costs.net_cpu_ms)
+                event.hops += 1
+                yield self.network.delay_ms(
+                    stale_server.name, grain_server.name, costs.client_msg_bytes
                 )
             else:
-                yield self.network.delay_signal(
+                yield self.network.delay_ms(
                     cached_name, grain_server.name, costs.client_msg_bytes
                 )
             client.learn(spec.target, grain_server.name)
-        yield from self._exec(grain_server, costs.route_cpu_ms)
+        yield self._charge(grain_server, costs.route_cpu_ms)
         event.started_ms = self.sim.now
         branch = Branch(event)
         # Take the grain's turn (FIFO mailbox admission).
@@ -95,14 +97,17 @@ class OrleansRuntime(RuntimeBase):
             # Task.WhenAll: the request completes when its async fan-out
             # does; the grain stays busy meanwhile (non-reentrant).
             self._branch_closed(event)
-            yield from self._await_quiescence(event)
+            if event.open_branches > 0:
+                yield from self._await_quiescence(event)
         finally:
-            if self._open_branches.get(event.eid, 0) > 0:
+            if event.open_branches > 0:
                 self._branch_closed(event)
             self._release_branch_locks(event, branch, self.server_of(spec.target))
         event.committed_ms = self.sim.now
         reply_from = self.server_of(spec.target)
-        yield from self._hop(event, reply_from, client.name, costs.client_msg_bytes)
+        yield self._charge(reply_from, costs.net_cpu_ms)
+        event.hops += 1
+        yield self.network.delay_ms(reply_from.name, client.name, costs.client_msg_bytes)
 
     # ------------------------------------------------------------------
     # Nested calls: per-call turn on the callee grain only
@@ -115,19 +120,21 @@ class OrleansRuntime(RuntimeBase):
         caller_server: Server,
         caller_cid: str,
     ) -> Generator:
-        if spec.target == caller_cid or spec.target in self._held.get(event.eid, ()):
+        if spec.target == caller_cid or spec.target in (event.held or ()):
             raise OrleansDeadlockError(
                 f"request {event.eid} synchronously re-entered busy grain "
                 f"{spec.target!r} (non-reentrant call cycle)"
             )
         callee_server = self.server_of(spec.target)
         if callee_server.name != caller_server.name:
-            yield from self._hop(
-                event, caller_server, callee_server.name, self.costs.proto_msg_bytes
+            yield self._charge(caller_server, self.costs.net_cpu_ms)
+            event.hops += 1
+            yield self.network.delay_ms(
+                caller_server.name, callee_server.name, self.costs.proto_msg_bytes
             )
         call_branch = Branch(event)
         grant = self._reserve(event, call_branch, spec.target)
-        yield from self._exec(callee_server, self.costs.route_cpu_ms)
+        yield self._charge(callee_server, self.costs.route_cpu_ms)
         yield grant
         try:
             result = yield from self._drive_body(event, spec, call_branch)
@@ -138,8 +145,10 @@ class OrleansRuntime(RuntimeBase):
             self._release_branch_locks(event, call_branch, self.server_of(spec.target))
         landed = self.server_of(spec.target)
         if landed.name != caller_server.name:
-            yield from self._hop(
-                event, landed, caller_server.name, self.costs.proto_msg_bytes
+            yield self._charge(landed, self.costs.net_cpu_ms)
+            event.hops += 1
+            yield self.network.delay_ms(
+                landed.name, caller_server.name, self.costs.proto_msg_bytes
             )
         return result
 
@@ -160,4 +169,4 @@ class OrleansRuntime(RuntimeBase):
                 _ = landed
                 self._branch_closed(event)
 
-        self.sim.process(runner(), name=f"event-{event.eid}-task")
+        self.sim.process(runner(), name="event-task")

@@ -72,7 +72,7 @@ class ContextRef:
         result = yield spec              # synchronous call inside a body
     """
 
-    __slots__ = ("cid", "type_name")
+    __slots__ = ("cid", "type_name", "_proxies")
 
     def __init__(self, cid: str, type_name: str) -> None:
         self.cid = cid
@@ -81,11 +81,24 @@ class ContextRef:
     def __getattr__(self, name: str) -> Callable[..., CallSpec]:
         if name.startswith("_"):
             raise AttributeError(name)
+        # Cache one builder per method name: bodies call the same few
+        # methods on long-lived refs, and a fresh closure per nested
+        # call is measurable.  The cache dict itself is lazy, so plain
+        # refs stay two-slot cheap.
+        try:
+            proxies = self._proxies
+        except AttributeError:
+            proxies = {}
+            self._proxies = proxies
+        build = proxies.get(name)
+        if build is None:
+            cid = self.cid
 
-        def build(*args: Any, **kwargs: Any) -> CallSpec:
-            return CallSpec(self.cid, name, args, kwargs)
+            def build(*args: Any, **kwargs: Any) -> CallSpec:
+                return CallSpec(cid, name, args, kwargs)
 
-        build.__name__ = name
+            build.__name__ = name
+            proxies[name] = build
         return build
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> CallSpec:

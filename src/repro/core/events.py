@@ -20,7 +20,6 @@ with the runtime by yielding:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
@@ -45,45 +44,66 @@ class AccessMode(enum.Enum):
     EX = "ex"
 
 
-@dataclass(frozen=True)
 class CallSpec:
-    """A method call on a context: target cid, method name, arguments."""
+    """A method call on a context: target cid, method name, arguments.
 
-    target: str
-    method: str
-    args: Tuple[Any, ...] = ()
-    kwargs: "Dict[str, Any]" = field(default_factory=dict)
+    A plain slots class rather than a (frozen) dataclass: one CallSpec
+    is built for every client operation and every nested call, and a
+    frozen dataclass pays ``object.__setattr__`` per field.
+    """
+
+    __slots__ = ("target", "method", "args", "kwargs")
+
+    def __init__(
+        self,
+        target: str,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional["Dict[str, Any]"] = None,
+    ) -> None:
+        self.target = target
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs if kwargs is not None else {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self.target}.{self.method}(...)"
 
 
-@dataclass(frozen=True)
 class AsyncCall:
     """Marker: execute ``spec`` asynchronously within the current event."""
 
-    spec: CallSpec
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: CallSpec) -> None:
+        self.spec = spec
 
 
-@dataclass(frozen=True)
 class SubEvent:
     """Marker: dispatch ``spec`` as a new event after the creator ends."""
 
-    spec: CallSpec
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: CallSpec) -> None:
+        self.spec = spec
 
 
-@dataclass(frozen=True)
 class Compute:
     """Marker: occupy the hosting server's CPU for ``work_ms`` unit work."""
 
-    work_ms: float
+    __slots__ = ("work_ms",)
+
+    def __init__(self, work_ms: float) -> None:
+        self.work_ms = work_ms
 
 
-@dataclass(frozen=True)
 class Sleep:
     """Marker: wait ``delay_ms`` of wall-clock time without using CPU."""
 
-    delay_ms: float
+    __slots__ = ("delay_ms",)
+
+    def __init__(self, delay_ms: float) -> None:
+        self.delay_ms = delay_ms
 
 
 def async_(spec: CallSpec) -> AsyncCall:
@@ -136,6 +156,10 @@ class Event:
         "writes",
         "sub_events",
         "hops",
+        "held",
+        "open_branches",
+        "quiescent",
+        "deferred_locks",
     )
 
     def __init__(
@@ -163,6 +187,15 @@ class Event:
         self.writes: Dict[str, int] = {}
         self.sub_events: List[CallSpec] = []
         self.hops = 0
+        # Runtime lock bookkeeping, owned by RuntimeBase: the set of
+        # held/reserved cids (None once the event finished), the count
+        # of open branches, the quiescence signal and locks deferred to
+        # commit.  Attributes here instead of eid-keyed dicts on the
+        # runtime: they are touched on every lock operation.
+        self.held: Optional[set] = set()
+        self.open_branches = 1  # the root branch
+        self.quiescent: Any = None
+        self.deferred_locks: List[str] = []
 
     @property
     def target(self) -> str:

@@ -37,6 +37,16 @@ class ContextLock:
         self._pending: Dict[int, Signal] = {}
         # Counters exposed to tests and the elasticity manager.
         self.total_acquisitions = 0
+        # Precomputed so the hot request() path never formats a name.
+        self._grant_name = f"lock:{cid}"
+        # Number of exclusive holders in ``activated`` (0 or 1),
+        # maintained incrementally so _pump never scans the set.
+        self._exclusive_active = 0
+        # One immortal triggered signal serves every synchronous grant
+        # (direct admission, re-entrant request): waiters only ever read
+        # ``triggered``/``value``/``exc`` from it, so sharing is safe
+        # and saves an allocation per uncontended lock request.
+        self._ready = Signal(sim, self._grant_name).succeed(None)
 
     # ------------------------------------------------------------------
     # Acquisition
@@ -51,13 +61,27 @@ class ContextLock:
         queued returns the existing grant with ``owned=False``, so
         re-entrant calls within one event never self-deadlock.
         """
-        if event.eid in self.activated:
-            return self.sim.signal(name=f"lock:{self.cid}").succeed(None), False
-        pending = self._pending.get(event.eid)
+        eid = event.eid
+        if eid in self.activated:
+            return self._ready, False
+        pending = self._pending.get(eid)
         if pending is not None:
             return pending, False
-        grant = self.sim.signal(name=f"lock:{self.cid}:{event.eid}")
-        self._pending[event.eid] = grant
+        mode = event.mode
+        if not self._queue and (
+            not self._exclusive_active
+            if mode is AccessMode.RO
+            else not self.activated
+        ):
+            # Uncontended: admit directly, skipping the queue round trip
+            # (same outcome as append + _pump + _admit).
+            self.activated[eid] = mode
+            if mode is not AccessMode.RO:
+                self._exclusive_active += 1
+            self.total_acquisitions += 1
+            return self._ready, True
+        grant = Signal(self.sim, self._grant_name)
+        self._pending[eid] = grant
         self._queue.append((event, grant))
         self._pump()
         return grant, True
@@ -69,8 +93,11 @@ class ContextLock:
         paths may overlap on error.
         """
         if event.eid in self.activated:
-            del self.activated[event.eid]
-            self._pump()
+            mode = self.activated.pop(event.eid)
+            if mode is AccessMode.EX:
+                self._exclusive_active -= 1
+            if self._queue:
+                self._pump()
             return
         if event.eid in self._pending:
             # The event reserved a position but never claimed it
@@ -84,26 +111,23 @@ class ContextLock:
             self._pump()
 
     def _pump(self) -> None:
-        admitted = True
-        while admitted and self._queue:
-            admitted = False
-            head_event, grant = self._queue[0]
+        queue = self._queue
+        while queue:
+            head_event, _grant = queue[0]
             if head_event.mode is AccessMode.RO:
-                exclusive_active = any(
-                    mode is AccessMode.EX for mode in self.activated.values()
-                )
-                if not exclusive_active:
-                    self._admit()
-                    admitted = True
-            else:
-                if not self.activated:
-                    self._admit()
-                    admitted = True
+                if self._exclusive_active:
+                    return
+            elif self.activated:
+                return
+            self._admit()
 
     def _admit(self) -> None:
         event, grant = self._queue.popleft()
         del self._pending[event.eid]
-        self.activated[event.eid] = event.mode
+        mode = event.mode
+        self.activated[event.eid] = mode
+        if mode is AccessMode.EX:
+            self._exclusive_active += 1
         self.total_acquisitions += 1
         grant.succeed(None)
 

@@ -56,6 +56,10 @@ class OwnershipNetwork:
         self._desc_cache: Dict[str, Set[str]] = {}
         self._share_cache: Dict[str, Set[str]] = {}
         self._dom_cache: Dict[str, str] = {}
+        # (src, dst) -> path; valid across leaf additions (a childless
+        # leaf can't appear on, or shorten, a path between existing
+        # nodes), cleared on every other structural mutation.
+        self._path_cache: Dict[Tuple[str, str], List[str]] = {}
         self._vroot_counter = 0
         # Structural epoch, bumped on every mutation; lets long-lived
         # consumers (e.g. client-side location caches) detect staleness.
@@ -179,6 +183,7 @@ class OwnershipNetwork:
         self._desc_cache.clear()
         self._share_cache.clear()
         self._dom_cache.clear()
+        self._path_cache.clear()
         self.epoch += 1
 
     # ------------------------------------------------------------------
@@ -374,6 +379,9 @@ class OwnershipNetwork:
         self._require(dst)
         if src == dst:
             return [src]
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return list(cached)
         # Walk upward from dst: ancestor sets are shallow even when the
         # graph holds many sibling leaves (TPC-C Orders), so this is far
         # cheaper than a downward BFS over the whole descendant set.
@@ -389,7 +397,8 @@ class OwnershipNetwork:
                     path = [src]
                     while path[-1] != dst:
                         path.append(back[path[-1]])
-                    return path
+                    self._path_cache[(src, dst)] = path
+                    return list(path)
                 frontier.append(parent)
         raise ValueError(f"{dst!r} is not a descendant of {src!r}")
 

@@ -54,21 +54,23 @@ class AeonRuntime(RuntimeBase):
         costs = self.costs
         # Client -> (cached) server hop; stale caches pay a forward hop.
         cached_name = client.locate(spec.target)
-        yield self.network.delay_signal(client.name, cached_name, costs.client_msg_bytes)
+        yield self.network.delay_ms(client.name, cached_name, costs.client_msg_bytes)
         target_server = self.server_of(spec.target)
         if cached_name != target_server.name:
             # Stale client cache: the wrong server forwards the event.
             stale_server = self.cluster.servers.get(cached_name)
             if stale_server is not None:
-                yield from self._hop(
-                    event, stale_server, target_server.name, costs.client_msg_bytes
+                yield self._charge(stale_server, costs.net_cpu_ms)
+                event.hops += 1
+                yield self.network.delay_ms(
+                    stale_server.name, target_server.name, costs.client_msg_bytes
                 )
             else:
-                yield self.network.delay_signal(
+                yield self.network.delay_ms(
                     cached_name, target_server.name, costs.client_msg_bytes
                 )
             client.learn(spec.target, target_server.name)
-        yield from self._exec(target_server, costs.route_cpu_ms)
+        yield self._charge(target_server, costs.route_cpu_ms)
 
         # Lines 1-4: locate the dominator and send ACT to it.
         dominator = self.ownership.dominator(spec.target)
@@ -77,23 +79,27 @@ class AeonRuntime(RuntimeBase):
         if dominator != spec.target:
             dom_server = self.server_of(dominator)
             if dom_server.name != target_server.name:
-                yield from self._hop(
-                    event, target_server, dom_server.name, costs.proto_msg_bytes
+                yield self._charge(target_server, costs.net_cpu_ms)
+                event.hops += 1
+                yield self.network.delay_ms(
+                    target_server.name, dom_server.name, costs.proto_msg_bytes
                 )
-            yield from self._exec(dom_server, costs.lock_cpu_ms)
+            yield self._charge(dom_server, costs.lock_cpu_ms)
             yield self._reserve(event, branch, dominator)
             # The EXEC back to the target is enqueued in dominator order:
             # reserve the target's position before traveling (line 16-18).
             target_reserved = self._reserve(event, branch, spec.target)
             if dom_server.name != target_server.name:
-                yield from self._hop(
-                    event, dom_server, target_server.name, costs.proto_msg_bytes
+                yield self._charge(dom_server, costs.net_cpu_ms)
+                event.hops += 1
+                yield self.network.delay_ms(
+                    dom_server.name, target_server.name, costs.proto_msg_bytes
                 )
         else:
             target_reserved = self._reserve(event, branch, spec.target)
 
         # activatePath at the target (lines 22-24; path is [target]).
-        yield from self._exec(target_server, costs.lock_cpu_ms)
+        yield self._charge(target_server, costs.lock_cpu_ms)
         yield target_reserved
         event.started_ms = self.sim.now
 
@@ -103,12 +109,15 @@ class AeonRuntime(RuntimeBase):
             event.result = yield from self._drive_body(event, spec, branch)
         finally:
             yield from self._close_branch(event, branch, self.server_of(spec.target))
-        yield from self._await_quiescence(event)
+        if event.open_branches > 0:
+            yield from self._await_quiescence(event)
         event.committed_ms = self.sim.now
         self._release_deferred(event)
         # Reply to the client.
         reply_from = self.server_of(spec.target)
-        yield from self._hop(event, reply_from, client.name, costs.client_msg_bytes)
+        yield self._charge(reply_from, costs.net_cpu_ms)
+        event.hops += 1
+        yield self.network.delay_ms(reply_from.name, client.name, costs.client_msg_bytes)
 
     # ------------------------------------------------------------------
     # Synchronous nested calls (scheduleNext + activatePath)
@@ -122,19 +131,26 @@ class AeonRuntime(RuntimeBase):
         caller_cid: str,
     ) -> Generator:
         reserved = self._reserve_path(event, branch, caller_cid, spec.target)
-        current = yield from self._claim_reserved(event, reserved, caller_server)
+        if reserved:
+            current = yield from self._claim_reserved(event, reserved, caller_server)
+        else:
+            current = caller_server
         callee_server = self.server_of(spec.target)
         if current.name != callee_server.name:
-            yield from self._hop(
-                event, current, callee_server.name, self.costs.proto_msg_bytes
+            yield self._charge(current, self.costs.net_cpu_ms)
+            event.hops += 1
+            yield self.network.delay_ms(
+                current.name, callee_server.name, self.costs.proto_msg_bytes
             )
-        yield from self._exec(callee_server, self.costs.route_cpu_ms)
+        yield self._charge(callee_server, self.costs.route_cpu_ms)
         result = yield from self._drive_body(event, spec, branch)
         # Synchronous call: control (and the result) returns to the caller.
         landed = self.server_of(spec.target)
         if landed.name != caller_server.name:
-            yield from self._hop(
-                event, landed, caller_server.name, self.costs.proto_msg_bytes
+            yield self._charge(landed, self.costs.net_cpu_ms)
+            event.hops += 1
+            yield self.network.delay_ms(
+                landed.name, caller_server.name, self.costs.proto_msg_bytes
             )
         return result
 
@@ -154,13 +170,20 @@ class AeonRuntime(RuntimeBase):
         def runner() -> Generator:
             landed: Optional[Server] = caller_server
             try:
-                current = yield from self._claim_reserved(event, reserved, caller_server)
+                if reserved:
+                    current = yield from self._claim_reserved(
+                        event, reserved, caller_server
+                    )
+                else:
+                    current = caller_server
                 callee_server = self.server_of(spec.target)
                 if current.name != callee_server.name:
-                    yield from self._hop(
-                        event, current, callee_server.name, self.costs.proto_msg_bytes
+                    yield self._charge(current, self.costs.net_cpu_ms)
+                    event.hops += 1
+                    yield self.network.delay_ms(
+                        current.name, callee_server.name, self.costs.proto_msg_bytes
                     )
-                yield from self._exec(callee_server, self.costs.route_cpu_ms)
+                yield self._charge(callee_server, self.costs.route_cpu_ms)
                 yield from self._drive_body(event, spec, child)
                 landed = self.server_of(spec.target)
             except Exception as exc:  # noqa: BLE001 - surfaced on the event
@@ -169,7 +192,7 @@ class AeonRuntime(RuntimeBase):
             finally:
                 yield from self._close_branch(event, child, landed or caller_server)
 
-        self.sim.process(runner(), name=f"event-{event.eid}-async")
+        self.sim.process(runner(), name="event-async")
 
     # ------------------------------------------------------------------
     # Lock release
@@ -186,6 +209,6 @@ class AeonRuntime(RuntimeBase):
         if self.costs.early_release:
             self._release_branch_locks(event, branch, at_server)
         else:
-            self._deferred_locks[event.eid].extend(branch.locks)
+            event.deferred_locks.extend(branch.locks)
             branch.locks = []
         self._branch_closed(event)

@@ -18,12 +18,13 @@ calls are spawned (:meth:`RuntimeBase._spawn_async`).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple, Type
 
 from ..sim.cluster import Cluster, Server
-from ..sim.kernel import Signal, Simulator
+from ..sim.kernel import CpuCharge, Process, Signal, Simulator
 from ..sim.metrics import LatencyRecorder, ThroughputRecorder
-from ..sim.network import Network
+from ..sim.network import LatencyModel, Network
 from .analysis import StaticAnalysis
 from .context import ContextClass, ContextRef, is_readonly, method_cost
 from .costs import CostModel, DEFAULT_COSTS
@@ -135,16 +136,18 @@ class RuntimeBase:
         self.history: Optional[HistoryRecorder] = HistoryRecorder() if record_history else None
         self._eid_counter = 0
         self._cid_counters: Dict[str, int] = {}
+        # (context class, method name) -> (bound-call function, readonly
+        # flag, cpu cost): the body driver resolves method metadata once
+        # per class instead of two getattrs per call.
+        self._method_meta: Dict[Tuple[type, str], Tuple[Any, bool, float]] = {}
         self._clients: Dict[str, ClientHandle] = {}
         self._registered_classes: Set[str] = set()
         self.events_inflight = 0
         self.events_completed = 0
-        # Per-event lock bookkeeping (event-wide held set, open branches,
-        # quiescence signal, deferred lock list for non-chain release).
-        self._held: Dict[int, Set[str]] = {}
-        self._open_branches: Dict[int, int] = {}
-        self._quiescent: Dict[int, Signal] = {}
-        self._deferred_locks: Dict[int, List[str]] = {}
+        self._charge_obj = CpuCharge(None, 0.0)  # reused; see _charge
+        # Per-event lock bookkeeping (held set, open branch count,
+        # quiescence signal, deferred lock list) lives on the Event
+        # object itself — see repro.core.events.Event.
         for server in cluster.servers.values():
             self.attach_server(server)
 
@@ -158,8 +161,11 @@ class RuntimeBase:
 
     def server_of(self, cid: str) -> Server:
         """The server currently hosting context ``cid``."""
-        self._ensure_placed(cid)
-        return self.cluster.servers[self.placement[cid]]
+        try:
+            return self.cluster.servers[self.placement[cid]]
+        except KeyError:
+            self._ensure_placed(cid)
+            return self.cluster.servers[self.placement[cid]]
 
     def _ensure_placed(self, cid: str) -> None:
         if cid in self.placement:
@@ -175,8 +181,30 @@ class RuntimeBase:
         raise UnknownContextError(f"virtual context {cid!r} has no placed member")
 
     def _exec(self, server: Server, work_ms: float) -> Generator:
-        """Occupy ``server``'s CPU for scaled ``work_ms`` of unit work."""
-        yield from server.execute(work_ms * self.cpu_factor)
+        """Occupy ``server``'s CPU for scaled ``work_ms`` of unit work.
+
+        Generator form (``yield from self._exec(...)``); hot paths use
+        :meth:`_charge` instead, which the kernel interprets without a
+        generator.  The instance-speed scaling is open-coded
+        (= ``itype.cpu_ms``).
+        """
+        return server.cpu.use(work_ms * self.cpu_factor / server.itype.speed)
+
+    def _charge(self, server: Server, work_ms: float) -> CpuCharge:
+        """A kernel-interpreted CPU charge: ``yield self._charge(...)``.
+
+        Semantically identical to ``yield from self._exec(...)`` — the
+        process trampoline runs the acquire/hold/release sequence
+        directly, so no generator is allocated or walked per charge.
+        One mutable CpuCharge is reused for every call: the kernel
+        consumes it synchronously within the same send (a yielded
+        charge reaches the trampoline before any other code runs), so
+        it is never live twice.
+        """
+        charge = self._charge_obj
+        charge.resource = server.cpu
+        charge.delay = work_ms * self.cpu_factor / server.itype.speed
+        return charge
 
     def _hop(
         self, event: Event, src_server: Server, dst_name: str, size_bytes: int
@@ -189,9 +217,9 @@ class RuntimeBase:
         co-location and penalizes Orleans' hash placement.
         """
         if src_server.name != dst_name:
-            yield from self._exec(src_server, self.costs.net_cpu_ms)
+            yield self._charge(src_server, self.costs.net_cpu_ms)
             event.hops += 1
-        yield self.network.delay_signal(src_server.name, dst_name, size_bytes)
+        yield self.network.delay_ms(src_server.name, dst_name, size_bytes)
 
     def lock_of(self, cid: str) -> ContextLock:
         """The lock object for ``cid`` (created lazily for virtual joins)."""
@@ -313,40 +341,27 @@ class RuntimeBase:
         metrics stay uniform.
         """
         instance = self.instance_of(spec.target)
-        method = getattr(instance, spec.method, None)
-        if method is None or not callable(method):
-            raise AeonError(f"{type(instance).__name__} has no method {spec.method!r}")
-        ro_allowed = self.supports_readonly and is_readonly(method)
+        _func, ro_method, _cost = self._method_meta_for(instance, spec.method)
+        ro_allowed = self.supports_readonly and ro_method
         mode = AccessMode.RO if ro_allowed else AccessMode.EX
         self._eid_counter += 1
         event = Event(self._eid_counter, spec, mode, client.name, self.sim.now, tag)
-        completion = self.sim.signal(name=f"event:{event.eid}")
+        completion = Signal(self.sim, "event")
         self.events_inflight += 1
-        self._held[event.eid] = set()
-        self._open_branches[event.eid] = 1  # the root branch
-        self._deferred_locks[event.eid] = []
-
-        def run() -> Generator:
-            try:
-                yield from self._event_process(event, client)
-            except Exception as exc:  # noqa: BLE001 - surfaced on the event
-                event.error = exc
-            finally:
-                self._finish_event(event, completion)
-            return event
-
-        self.sim.process(run(), name=f"event-{event.eid}")
+        _EventProcess(self, event, completion, self._event_process(event, client))
         return completion
 
     def _finish_event(self, event: Event, completion: Signal) -> None:
         if event.committed_ms is None:
             event.committed_ms = self.sim.now
-        # Safety net: release anything still held (error paths).
-        for cid in list(self._held.pop(event.eid, ())):
-            self.lock_of(cid).release(event)
-        self._open_branches.pop(event.eid, None)
-        self._quiescent.pop(event.eid, None)
-        self._deferred_locks.pop(event.eid, None)
+        # Safety net: release anything still held (error paths); a None
+        # held-set marks the event finished for late branch cleanup.
+        held, event.held = event.held, None
+        if held:
+            for cid in list(held):
+                self.lock_of(cid).release(event)
+        event.quiescent = None
+        event.deferred_locks = []
         self.events_inflight -= 1
         self.events_completed += 1
         self.latency.record(event.submitted_ms, self.sim.now, tag=event.tag)
@@ -371,61 +386,99 @@ class RuntimeBase:
     # Branch bookkeeping
     # ------------------------------------------------------------------
     def _branch_opened(self, event: Event) -> None:
-        self._open_branches[event.eid] = self._open_branches.get(event.eid, 0) + 1
+        event.open_branches += 1
 
     def _branch_closed(self, event: Event) -> None:
-        remaining = self._open_branches.get(event.eid, 0) - 1
-        self._open_branches[event.eid] = remaining
-        if remaining <= 0:
-            waiter = self._quiescent.get(event.eid)
+        event.open_branches -= 1
+        if event.open_branches <= 0:
+            waiter = event.quiescent
             if waiter is not None and not waiter.triggered:
                 waiter.succeed(None)
 
     def _await_quiescence(self, event: Event) -> Generator:
-        """Wait until all branches (root + asyncs) of ``event`` are done."""
-        if self._open_branches.get(event.eid, 0) > 0:
-            waiter = self.sim.signal(name=f"quiescent:{event.eid}")
-            self._quiescent[event.eid] = waiter
+        """Wait until all branches (root + asyncs) of ``event`` are done.
+
+        Callers guard with ``if event.open_branches > 0`` to skip the
+        generator entirely in the common no-async case.
+        """
+        if event.open_branches > 0:
+            waiter = Signal(self.sim, "quiescent")
+            event.quiescent = waiter
             yield waiter
 
     # ------------------------------------------------------------------
     # Method-body driver (shared by all runtimes)
     # ------------------------------------------------------------------
+    def _method_meta_for(self, instance: ContextClass, name: str) -> Tuple[Any, bool, float]:
+        """Resolve ``(callable, readonly, cpu_ms)`` for a method, cached.
+
+        The cache key is the context *class*: plain functions (the
+        normal case) are stored unbound and called with the instance,
+        so one entry serves every context of the class.  Non-function
+        callables (rare) are resolved per call via getattr.
+        """
+        cls = instance.__class__
+        key = (cls, name)
+        meta = self._method_meta.get(key)
+        if meta is None:
+            method = getattr(instance, name, None)
+            if method is None or not callable(method):
+                raise AeonError(f"{cls.__name__} has no method {name!r}")
+            func = getattr(method, "__func__", None)
+            if func is None or getattr(cls, name, None) is not func:
+                func = None  # instance-level or exotic callable: no cache
+            meta = (
+                func,
+                is_readonly(method),
+                method_cost(method, self.costs.method_cpu_ms),
+            )
+            self._method_meta[key] = meta
+        return meta
+
     def _drive_body(self, event: Event, spec: CallSpec, branch: Branch) -> Generator:
         """Execute one method call at the context's current server.
 
         Charges the method's CPU cost, tracks read/write versions, then
-        interprets the generator yield protocol.  Returns the method's
-        return value.
+        interprets the generator yield protocol in place (one frame for
+        both the call and its yield loop — every ``yield from`` level
+        is walked on every resume, so the driver stays flat).  Returns
+        the method's return value.
         """
-        instance = self.instance_of(spec.target)
-        server = self.server_of(spec.target)
-        method = getattr(instance, spec.method, None)
-        if method is None or not callable(method):
-            raise AeonError(
-                f"{type(instance).__name__} has no method {spec.method!r}"
-            )
-        ro_method = is_readonly(method)
+        target = spec.target
+        try:
+            instance = self.instances[target]
+            server = self.cluster.servers[self.placement[target]]
+        except KeyError:
+            instance = self.instance_of(target)
+            server = self.server_of(target)
+        meta = self._method_meta.get((instance.__class__, spec.method))
+        if meta is None:
+            meta = self._method_meta_for(instance, spec.method)
+        func, ro_method, cost_ms = meta
         if event.mode is AccessMode.RO and not ro_method:
             raise ReadOnlyViolationError(
                 f"read-only event {event.eid} called non-readonly "
                 f"{type(instance).__name__}.{spec.method}"
             )
-        self._record_access(event, instance, ro_method)
-        yield from self._exec(server, method_cost(method, self.costs.method_cpu_ms))
-        outcome = method(*spec.args, **spec.kwargs)
+        # Version tracking (_record_access, inlined: once per call).
+        cid = instance.cid
+        writes = event.writes
+        if ro_method:
+            if cid not in writes:
+                event.reads[cid] = instance._aeon_version
+        else:
+            if cid not in writes:
+                instance._aeon_version += 1
+            writes[cid] = instance._aeon_version
+        yield self._charge(server, cost_ms)
+        if func is not None:
+            outcome = func(instance, *spec.args, **spec.kwargs)
+        else:
+            outcome = getattr(instance, spec.method)(*spec.args, **spec.kwargs)
         if not _is_generator(outcome):
             return outcome
-        return (yield from self._drive_generator(event, spec, branch, outcome, server))
 
-    def _drive_generator(
-        self,
-        event: Event,
-        spec: CallSpec,
-        branch: Branch,
-        body: Generator,
-        server: Server,
-    ) -> Generator:
+        body = outcome
         send_value: Any = None
         thrown: Optional[BaseException] = None
         while True:
@@ -440,26 +493,26 @@ class RuntimeBase:
             send_value = None
             try:
                 if isinstance(item, CallSpec):
-                    self._check_ownership_discipline(spec.target, item.target)
+                    self._check_ownership_discipline(target, item.target)
                     send_value = yield from self._sync_call(
-                        event, item, branch, server, spec.target
+                        event, item, branch, server, target
                     )
                 elif isinstance(item, AsyncCall):
-                    self._check_ownership_discipline(spec.target, item.spec.target)
+                    self._check_ownership_discipline(target, item.spec.target)
                     if self.supports_async:
-                        self._spawn_async(event, item.spec, server, spec.target)
+                        self._spawn_async(event, item.spec, server, target)
                     else:
                         # EventWave has no async method calls inside
                         # events; the call degrades to synchronous.
                         yield from self._sync_call(
-                            event, item.spec, branch, server, spec.target
+                            event, item.spec, branch, server, target
                         )
                 elif isinstance(item, SubEvent):
                     event.sub_events.append(item.spec)
                 elif isinstance(item, Compute):
-                    yield from self._exec(server, item.work_ms)
+                    yield self._charge(server, item.work_ms)
                 elif isinstance(item, Sleep):
-                    yield self.sim.timeout(item.delay_ms)
+                    yield float(item.delay_ms)
                 else:
                     raise AeonError(
                         f"method {spec.method!r} yielded unsupported {item!r}"
@@ -478,17 +531,6 @@ class RuntimeBase:
                 f"context {caller_cid!r} does not own {callee_cid!r}"
             )
 
-    def _record_access(self, event: Event, instance: ContextClass, ro_method: bool) -> None:
-        cid = instance.cid
-        if ro_method:
-            if cid not in event.writes:
-                event.reads[cid] = instance._aeon_version
-        else:
-            if cid not in event.writes:
-                instance._aeon_version += 1
-            event.writes[cid] = instance._aeon_version
-
-
     # ------------------------------------------------------------------
     # Lock reservation and release (shared by AEON and EventWave)
     # ------------------------------------------------------------------
@@ -500,9 +542,11 @@ class RuntimeBase:
         makes the per-context execution order inherit the sequencer
         (dominator / root) order, and what keeps chain release safe.
         """
-        held = self._held[event.eid]
-        grant, owned = self.lock_of(cid).request(event)
-        held.add(cid)
+        lock = self.locks.get(cid)
+        if lock is None:
+            lock = self.lock_of(cid)
+        grant, owned = lock.request(event)
+        event.held.add(cid)
         if owned:
             branch.locks.append(cid)
         return grant
@@ -515,7 +559,7 @@ class RuntimeBase:
         Contexts already held (or reserved) by the event are skipped.
         Returns the ``(cid, grant)`` pairs to claim, in path order.
         """
-        held = self._held[event.eid]
+        held = event.held
         path = self.ownership.find_path(caller_cid, callee)
         reserved: List[Tuple[str, Signal]] = []
         for cid in path:
@@ -534,17 +578,19 @@ class RuntimeBase:
         for cid, grant in reserved:
             lock_server = self.server_of(cid)
             if lock_server.name != current.name:
-                yield from self._hop(
-                    event, current, lock_server.name, self.costs.proto_msg_bytes
+                yield self._charge(current, self.costs.net_cpu_ms)
+                event.hops += 1
+                yield self.network.delay_ms(
+                    current.name, lock_server.name, self.costs.proto_msg_bytes
                 )
                 current = lock_server
-            yield from self._exec(lock_server, self.costs.lock_cpu_ms)
+            yield self._charge(lock_server, self.costs.lock_cpu_ms)
             yield grant
         return current
 
     def _release_branch_locks(self, event: Event, branch: Branch, at_server: Server) -> None:
         """Release a branch's locks in reverse acquisition order."""
-        held = self._held.get(event.eid)
+        held = event.held
         for cid in reversed(branch.locks):
             if held is not None:
                 held.discard(cid)
@@ -553,25 +599,42 @@ class RuntimeBase:
 
     def _release_deferred(self, event: Event) -> None:
         """Release locks deferred to commit (non-chain-release mode)."""
-        deferred = self._deferred_locks.get(event.eid, [])
-        held = self._held.get(event.eid)
+        deferred = event.deferred_locks
+        held = event.held
         release_from = self.server_of(event.target)
         for cid in reversed(deferred):
             if held is not None:
                 held.discard(cid)
             self._schedule_release(event, cid, release_from)
-        self._deferred_locks[event.eid] = []
+        event.deferred_locks = []
 
     def _schedule_release(self, event: Event, cid: str, from_server: Server) -> None:
         """Release ``cid`` after the release message's one-way latency."""
-        lock = self.lock_of(cid)
+        lock = self.locks.get(cid)
+        if lock is None:
+            lock = self.lock_of(cid)
         try:
             lock_server_name = self.server_of(cid).name
         except Exception:  # pragma: no cover - context vanished mid-flight
             lock.release(event)
             return
-        delay = self.network.latency.latency_ms(from_server.name, lock_server_name)
-        self.sim.schedule(delay, lock.release, event)
+        latency = self.network.latency
+        if type(latency) is LatencyModel:  # open-coded default model
+            delay = (
+                latency.same_host_ms
+                if from_server.name == lock_server_name
+                else latency.lan_ms
+            )
+        else:
+            delay = latency.latency_ms(from_server.name, lock_server_name)
+        sim = self.sim
+        if delay == 0.0:  # zero-latency model: immediate queue, not heap
+            sim.call_soon(lock.release, event)
+        else:
+            sim._sequence += 1
+            heappush(
+                sim._heap, (sim.now + delay, sim._sequence, lock.release, (event,))
+            )
 
     # ------------------------------------------------------------------
     # Protocol-specific hooks
@@ -609,6 +672,48 @@ class RuntimeBase:
         if self.history is None:
             raise AeonError("runtime was created without record_history=True")
         self.history.check()
+
+
+class _EventProcess(Process):
+    """The simulator process driving one event end to end.
+
+    Historically ``submit`` wrapped ``_event_process`` in a closure
+    generator for the try/except/finally bookkeeping — one extra frame
+    walked on *every* resume of *every* event.  This subclass hooks the
+    process completion instead, at exactly the points where the wrapper
+    ran: ``_finish_event`` fires synchronously inside the final step,
+    application exceptions are surfaced on ``event.error`` and the
+    process still *succeeds* (with the Event), so lock cleanup and
+    metrics stay uniform.
+    """
+
+    __slots__ = ("_runtime", "_event", "_completion")
+
+    def __init__(
+        self,
+        runtime: "RuntimeBase",
+        event: Event,
+        completion: Signal,
+        generator: Generator,
+    ) -> None:
+        self._runtime = runtime
+        self._event = event
+        self._completion = completion
+        super().__init__(runtime.sim, generator, name="event")
+
+    def succeed(self, value: Any = None) -> Signal:
+        self._runtime._finish_event(self._event, self._completion)
+        return super().succeed(self._event)
+
+    def fail(self, exc: BaseException) -> Signal:
+        if isinstance(exc, Exception):
+            # Application error: surfaced on the event, then a normal
+            # finish (mirrors the old wrapper's `except Exception`).
+            self._event.error = exc
+            self._runtime._finish_event(self._event, self._completion)
+            return super().succeed(self._event)
+        self._runtime._finish_event(self._event, self._completion)
+        return super().fail(exc)
 
 
 def _is_generator(value: Any) -> bool:

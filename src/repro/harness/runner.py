@@ -151,11 +151,9 @@ def measure(
     runtime = testbed.runtime
     window = duration_ms - warmup_ms
     completed = runtime.throughput.count_between(warmup_ms, duration_ms)
-    latencies = [
-        s.latency_ms
-        for s in runtime.latency.samples
-        if warmup_ms <= s.end_ms < duration_ms
-    ]
+    # Bisect-windowed query on the array-backed recorder: no per-sample
+    # objects, no full scan.
+    latencies = runtime.latency.latencies_between(warmup_ms, duration_ms)
     latencies.sort()
 
     def pct(p: float) -> float:

@@ -1,0 +1,161 @@
+"""Kernel/runtime microbenchmarks: ``python -m repro.sim.bench``.
+
+Four benchmarks bracket the simulation hot path, from pure kernel to
+full stack:
+
+* ``timeout_storm``   — many processes sleeping in tight loops (heap
+  scheduling, process resume);
+* ``store_pingpong``  — two processes bouncing items through two
+  :class:`~repro.sim.queues.Store` objects (signal completion, the
+  pre-triggered ``get`` fast path);
+* ``resource_contention`` — processes contending on a 2-core
+  :class:`~repro.sim.queues.Resource` (grant/release, waiter wakeup);
+* ``game_tick``       — one end-to-end AEON game run (the whole stack:
+  protocol, locking, network, metrics).
+
+Each benchmark reports wall-clock events/second.  Results are merged
+into a JSON file (default ``BENCH_kernel.json``) under a ``--label``
+key, so before/after snapshots of an optimization live side by side::
+
+    python -m repro.sim.bench --label before
+    ...optimize...
+    python -m repro.sim.bench --label after
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, Generator, List, Optional
+
+from .kernel import Simulator
+from .queues import Resource, Store
+
+__all__ = ["run_benchmarks", "main"]
+
+
+def _bench_timeout_storm() -> Dict[str, float]:
+    """100 processes x 2000 timeouts with staggered delays."""
+    sim = Simulator()
+    n_procs, n_iters = 100, 2000
+
+    def sleeper(offset: int) -> Generator:
+        delay = 0.5 + (offset % 7) * 0.25
+        for _ in range(n_iters):
+            yield sim.timeout(delay)
+
+    for i in range(n_procs):
+        sim.process(sleeper(i))
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {"events": n_procs * n_iters, "wall_s": elapsed}
+
+
+def _bench_store_pingpong() -> Dict[str, float]:
+    """Two processes bouncing a token through two stores 200k times."""
+    sim = Simulator()
+    rounds = 200_000
+    a, b = Store(sim, "a"), Store(sim, "b")
+
+    def pinger() -> Generator:
+        for i in range(rounds):
+            a.put(i)
+            yield b.get()
+
+    def ponger() -> Generator:
+        for _ in range(rounds):
+            token = yield a.get()
+            b.put(token)
+
+    sim.process(pinger())
+    sim.process(ponger())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {"events": 2 * rounds, "wall_s": elapsed}
+
+
+def _bench_resource_contention() -> Dict[str, float]:
+    """16 processes x 10k holds of a 2-core resource (1 ms service)."""
+    sim = Simulator()
+    n_procs, n_iters = 16, 10_000
+    cpu = Resource(sim, capacity=2, name="cpu")
+
+    def worker() -> Generator:
+        for _ in range(n_iters):
+            yield from cpu.use(1.0)
+
+    for _ in range(n_procs):
+        sim.process(worker())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {"events": n_procs * n_iters, "wall_s": elapsed}
+
+
+def _bench_game_tick() -> Dict[str, float]:
+    """One end-to-end AEON game run (4 servers, 240 clients, 800 ms)."""
+    from ..harness.runner import run_game  # late import: avoids a cycle
+
+    start = time.perf_counter()
+    result, _tb, _app = run_game(
+        "aeon", 4, n_clients=240, duration_ms=800.0, warmup_ms=200.0,
+        think_ms=2.0, seed=0,
+    )
+    elapsed = time.perf_counter() - start
+    return {"events": result.completed, "wall_s": elapsed}
+
+
+BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
+    "timeout_storm": _bench_timeout_storm,
+    "store_pingpong": _bench_store_pingpong,
+    "resource_contention": _bench_resource_contention,
+    "game_tick": _bench_game_tick,
+}
+
+
+def run_benchmarks(names: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
+    """Run the selected benchmarks; returns name -> {events, wall_s, events_per_s}."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names or sorted(BENCHMARKS):
+        stats = BENCHMARKS[name]()
+        stats["events_per_s"] = round(
+            stats["events"] / stats["wall_s"] if stats["wall_s"] > 0 else 0.0, 1
+        )
+        stats["wall_s"] = round(stats["wall_s"], 4)
+        results[name] = stats
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run benchmarks and merge results into a JSON file."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="current",
+                        help="key to store this snapshot under (e.g. before/after)")
+    parser.add_argument("--out", default="BENCH_kernel.json",
+                        help="result file (merged, not overwritten)")
+    parser.add_argument("--bench", action="append", choices=sorted(BENCHMARKS),
+                        help="run only this benchmark (repeatable)")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.bench)
+    for name, stats in results.items():
+        print(f"{name:>22}: {stats['events_per_s']:>12,.1f} events/s "
+              f"({stats['events']} events in {stats['wall_s']:.3f}s)")
+
+    out = Path(args.out)
+    doc = json.loads(out.read_text()) if out.exists() else {}
+    doc.setdefault("python", platform.python_version())
+    snapshot = doc.setdefault(args.label, {})
+    snapshot.update(results)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} [{args.label}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -80,8 +80,13 @@ class Server:
         The wall-clock duration is scaled by the instance speed; if all
         cores are busy the request queues FIFO — this queueing is what
         produces saturation knees in the throughput figures.
+
+        Returns the :meth:`Resource.use` generator directly (rather
+        than delegating through a frame of its own): ``yield from``
+        resumptions walk every intermediate frame, and this sits on the
+        hottest path in the repository.
         """
-        yield from self.cpu.use(self.itype.cpu_ms(work_ms))
+        return self.cpu.use(self.itype.cpu_ms(work_ms))
 
     # ------------------------------------------------------------------
     # Utilization reporting (consumed by the eManager)

@@ -18,8 +18,10 @@ the paper's numbers (latencies of a few ms, SLA of 10 ms) read naturally.
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Simulator",
@@ -28,6 +30,7 @@ __all__ = [
     "Process",
     "AllOf",
     "AnyOf",
+    "CpuCharge",
     "SimulationError",
 ]
 
@@ -48,7 +51,9 @@ class Signal:
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
-        self.callbacks: List[Callable[["Signal"], None]] = []
+        # Lazily created: most signals complete with zero or one waiter,
+        # and a list allocation per signal is measurable.
+        self.callbacks: Optional[List[Callable[["Signal"], None]]] = None
         self._triggered = False
         self.value: Any = None
         self.exc: Optional[BaseException] = None
@@ -66,7 +71,22 @@ class Signal:
 
     def succeed(self, value: Any = None) -> "Signal":
         """Complete the signal successfully, waking all waiters now."""
-        self._complete(value, None)
+        # Open-coded _complete(value, None): signal completion is the
+        # single most frequent operation in a run.
+        if self._triggered:
+            raise SimulationError(f"signal {self.name!r} completed twice")
+        self._triggered = True
+        self.value = value
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = None
+            sim = self.sim
+            now = sim.now
+            immediate = sim._immediate
+            arg = (self,)
+            for callback in callbacks:
+                sim._sequence += 1
+                immediate.append((now, sim._sequence, callback, arg))
         return self
 
     def fail(self, exc: BaseException) -> "Signal":
@@ -86,18 +106,29 @@ class Signal:
         self._triggered = True
         self.value = value
         self.exc = exc
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            self.sim.schedule(0.0, callback, self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = None
+            # Waiters run via the immediate queue: same scheduling order
+            # as schedule(0.0, ...) without touching the heap.
+            sim = self.sim
+            now = sim.now
+            immediate = sim._immediate
+            arg = (self,)
+            for callback in callbacks:
+                sim._sequence += 1
+                immediate.append((now, sim._sequence, callback, arg))
 
     def add_callback(self, callback: Callable[["Signal"], None]) -> None:
         """Invoke *callback(signal)* when the signal completes.
 
         If the signal already completed, the callback runs at the current
-        simulation time (still asynchronously, via the event heap).
+        simulation time (still asynchronously, via the immediate queue).
         """
         if self._triggered:
-            self.sim.schedule(0.0, callback, self)
+            self.sim.call_soon(callback, self)
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
 
@@ -114,12 +145,18 @@ class Timeout(Signal):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # A static name: formatting one per timeout is measurable on the
+        # hot path, and the delay is available as an attribute anyway.
+        super().__init__(sim, name="timeout")
         self.delay = delay
         sim.schedule(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
         self.succeed(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._triggered else "pending"
+        return f"<Timeout delay={self.delay} {state}>"
 
 
 class AllOf(Signal):
@@ -182,6 +219,24 @@ class AnyOf(Signal):
         return on_done
 
 
+class CpuCharge:
+    """A yieldable "hold one unit of ``resource`` for ``delay`` ms".
+
+    Equivalent to ``yield from resource.use(delay)`` but interpreted
+    directly by the process trampoline: no generator is created and no
+    extra frame is walked on the resume — CPU charges are the single
+    most frequent wait in a protocol simulation.  ``resource`` is duck
+    typed (``acquire_now``/``release_unit``/``request``), matching
+    :class:`repro.sim.queues.Resource`.
+    """
+
+    __slots__ = ("resource", "delay")
+
+    def __init__(self, resource: Any, delay: float) -> None:
+        self.resource = resource
+        self.delay = delay
+
+
 class Process(Signal):
     """A generator-driven simulated activity.
 
@@ -191,55 +246,272 @@ class Process(Signal):
       :class:`Process`, :class:`AllOf`, :class:`AnyOf`) — the process
       resumes with the signal's value, or the signal's exception is
       raised at the yield site;
+    * a non-negative ``float`` (strictly a float: a yielded int is still
+      rejected, as ever) — resume after that many virtual milliseconds,
+      equivalent to yielding ``sim.timeout(delay)`` but without
+      allocating a signal: the timer resumes the process directly from
+      the heap;
     * ``None`` — resume on the next scheduler step (a cooperative hop).
 
     The process itself is a signal: it succeeds with the generator's
     return value, or fails with its uncaught exception.
     """
 
-    __slots__ = ("_generator",)
+    __slots__ = (
+        "_generator",
+        "_timer_cb",
+        "_wait_cb",
+        "_charge_res",
+        "_charge_delay",
+        "_charge_start_cb",
+        "_charge_timer_cb",
+        "_charge_resume_cb",
+    )
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         if not hasattr(generator, "send"):
             raise TypeError(f"Process requires a generator, got {generator!r}")
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
-        sim.schedule(0.0, self._step, _Resume(None, None))
+        # Bound once: these are scheduled on every timer yield / signal
+        # wait / CPU charge, and bound-method creation per wait adds up.
+        self._timer_cb = self._timer_resume
+        self._wait_cb = self._on_wait_done
+        self._charge_res: Any = None
+        self._charge_delay = 0.0
+        self._charge_start_cb = self._charge_start
+        self._charge_timer_cb = self._charge_timer
+        self._charge_resume_cb = self._charge_resume
+        # The first step is always queued (never run inline): callers may
+        # continue setting up state between process() and run().
+        sim.call_soon(self._step, None, None)
 
-    def _step(self, resume: "_Resume") -> None:
-        try:
-            if resume.exc is not None:
-                target = self._generator.throw(resume.exc)
-            else:
-                target = self._generator.send(resume.value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - must reach waiters
-            self.fail(exc)
-            return
-        if target is None:
-            self.sim.schedule(0.0, self._step, _Resume(None, None))
-        elif isinstance(target, Signal):
-            target.add_callback(self._on_wait_done)
-        else:
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        # Trampoline: consume already-triggered waitables in a loop
+        # instead of round-tripping through the scheduler.  Inlining is
+        # only legal while the simulator is *idle at the current
+        # timestamp* — otherwise a queued same-time callback (with a
+        # smaller sequence number) would be overtaken, changing the
+        # deterministic order.  When idle, the queued resume would have
+        # been the very next callback anyway, so running it now is
+        # exactly equivalent.
+        sim = self.sim
+        generator = self._generator
+        send = generator.send
+        immediate = sim._immediate
+        heap = sim._heap
+        while True:
+            try:
+                if exc is not None:
+                    target = generator.throw(exc)
+                else:
+                    target = send(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as step_exc:  # noqa: BLE001 - must reach waiters
+                self.fail(step_exc)
+                return
+            if type(target) is float:
+                if target < 0.0:
+                    sim.call_soon(
+                        self._step,
+                        None,
+                        SimulationError(
+                            f"process {self.name!r} yielded non-waitable {target!r}"
+                        ),
+                    )
+                    return
+                # A raw delay: the timer resumes this process directly,
+                # no signal allocation, no completion round-trip.
+                # Fast-forward: with nothing queued at the current time,
+                # no heap event at/before the fire time, and the run
+                # horizon not in between, the timer entry would be the
+                # very next pop — advance the clock inline instead.
+                if not immediate:
+                    fire_at = sim.now + target
+                    until = sim._until
+                    if (not heap or heap[0][0] > fire_at) and (
+                        until is None or fire_at <= until
+                    ):
+                        sim.now = fire_at
+                        if sim._max_steps is not None:
+                            sim._step_count += 2  # the timer pop + resume
+                            if sim._step_count > sim._max_steps:
+                                raise SimulationError(
+                                    f"exceeded max_steps={sim._max_steps}"
+                                )
+                        value = exc = None
+                        continue
+                sim._sequence += 1
+                if target == 0.0:
+                    immediate.append((sim.now, sim._sequence, self._timer_cb, ()))
+                else:
+                    heapq.heappush(
+                        heap,
+                        (sim.now + target, sim._sequence, self._timer_cb, ()),
+                    )
+                return
+            if type(target) is CpuCharge:
+                resource = target.resource
+                delay = target.delay
+                if delay < 0.0:
+                    # Mirror the raw-delay branch: negative work is a
+                    # programming error, surfaced at the yield site.
+                    sim.call_soon(
+                        self._step,
+                        None,
+                        SimulationError(
+                            f"process {self.name!r} yielded negative "
+                            f"CPU charge {delay!r}"
+                        ),
+                    )
+                    return
+                if resource.acquire_now():
+                    self._charge_res = resource
+                    if immediate or (heap and heap[0][0] <= sim.now):
+                        # Not idle: the historical triggered grant would
+                        # queue one resume behind the pending callbacks;
+                        # replicate it, then start the service timer.
+                        self._charge_delay = delay
+                        sim.call_soon(self._charge_start_cb)
+                        return
+                    if sim._max_steps is not None:  # the elided grant hop
+                        sim._step_count += 1
+                        if sim._step_count > sim._max_steps:
+                            raise SimulationError(
+                                f"exceeded max_steps={sim._max_steps}"
+                            )
+                    # Service timer, mirroring the raw-delay branch
+                    # (fast-forward included); release on fire.
+                    fire_at = sim.now + delay
+                    until = sim._until
+                    if (not heap or heap[0][0] > fire_at) and (
+                        until is None or fire_at <= until
+                    ):
+                        sim.now = fire_at
+                        if sim._max_steps is not None:
+                            sim._step_count += 2
+                            if sim._step_count > sim._max_steps:
+                                raise SimulationError(
+                                    f"exceeded max_steps={sim._max_steps}"
+                                )
+                        self._charge_res = None
+                        resource.release_unit()
+                        value = exc = None
+                        continue
+                    sim._sequence += 1
+                    if delay == 0.0:
+                        immediate.append(
+                            (sim.now, sim._sequence, self._charge_timer_cb, ())
+                        )
+                    else:
+                        heapq.heappush(
+                            heap,
+                            (sim.now + delay, sim._sequence, self._charge_timer_cb, ()),
+                        )
+                    return
+                # Contended: wait for a unit, then run the timer.  The
+                # releaser schedules the callback exactly where a grant
+                # signal's completion would have queued it.
+                self._charge_res = resource
+                self._charge_delay = delay
+                resource.enqueue_waiter(self._charge_start_cb)
+                return
+            if isinstance(target, Signal):
+                # Inline idle_at_now(): this is the hottest branch.
+                if (
+                    target._triggered
+                    and not immediate
+                    and (not heap or heap[0][0] > sim.now)
+                ):
+                    value, exc = target.value, target.exc
+                    if sim._max_steps is not None:
+                        sim._step_count += 1
+                        if sim._step_count > sim._max_steps:
+                            raise SimulationError(
+                                f"exceeded max_steps={sim._max_steps}"
+                            )
+                    continue
+                target.add_callback(self._wait_cb)
+                return
+            if target is None:
+                if sim.idle_at_now():
+                    value = exc = None
+                    sim._count_inline_step()
+                    continue
+                sim.call_soon(self._step, None, None)
+                return
             error = SimulationError(
                 f"process {self.name!r} yielded non-waitable {target!r}"
             )
-            self.sim.schedule(0.0, self._step, _Resume(None, error))
+            sim.call_soon(self._step, None, error)
+            return
+
+    def _charge_start(self, _signal: Optional[Signal] = None) -> None:
+        # Holding the unit (taken synchronously, or handed over by a
+        # releaser); start the service timer.  Mirrors the raw-delay
+        # yield branch, fast-forward included.
+        sim = self.sim
+        delay = self._charge_delay
+        heap = sim._heap
+        if not sim._immediate:
+            fire_at = sim.now + delay
+            until = sim._until
+            if (not heap or heap[0][0] > fire_at) and (
+                until is None or fire_at <= until
+            ):
+                sim.now = fire_at
+                if sim._max_steps is not None:
+                    sim._step_count += 2
+                    if sim._step_count > sim._max_steps:
+                        raise SimulationError(f"exceeded max_steps={sim._max_steps}")
+                resource, self._charge_res = self._charge_res, None
+                resource.release_unit()
+                self._step(None, None)
+                return
+        sim._sequence += 1
+        if delay == 0.0:
+            sim._immediate.append((sim.now, sim._sequence, self._charge_timer_cb, ()))
+        else:
+            heapq.heappush(
+                heap, (sim.now + delay, sim._sequence, self._charge_timer_cb, ())
+            )
+
+    def _charge_timer(self) -> None:
+        # The service timer fired; the release runs at the (possibly
+        # queued) resume — exactly where the use() generator's finally
+        # block ran.
+        sim = self.sim
+        if not sim._immediate and (not sim._heap or sim._heap[0][0] > sim.now):
+            sim._count_inline_step()
+            resource, self._charge_res = self._charge_res, None
+            resource.release_unit()
+            self._step(None, None)
+        else:
+            sim._sequence += 1
+            sim._immediate.append((sim.now, sim._sequence, self._charge_resume_cb, ()))
+
+    def _charge_resume(self) -> None:
+        resource, self._charge_res = self._charge_res, None
+        resource.release_unit()
+        self._step(None, None)
+
+    def _timer_resume(self) -> None:
+        # Fired from the heap when a yielded raw delay elapses.  The
+        # signal-based path queued the resume behind whatever else is
+        # pending at the fire time; replicate that unless idle (where
+        # the queued resume would run immediately anyway).
+        sim = self.sim
+        if not sim._immediate and (not sim._heap or sim._heap[0][0] > sim.now):
+            sim._count_inline_step()
+            self._step(None, None)
+        else:
+            sim._sequence += 1
+            sim._immediate.append((sim.now, sim._sequence, self._step, (None, None)))
 
     def _on_wait_done(self, signal: Signal) -> None:
-        self._step(_Resume(signal.value, signal.exc))
-
-
-class _Resume:
-    """What to feed back into a process generator on its next step."""
-
-    __slots__ = ("value", "exc")
-
-    def __init__(self, value: Any, exc: Optional[BaseException]) -> None:
-        self.value = value
-        self.exc = exc
+        self._step(signal.value, signal.exc)
 
 
 class Simulator:
@@ -249,13 +521,23 @@ class Simulator:
     scheduling order (a monotonically increasing sequence number breaks
     ties), so a fixed program + fixed RNG seeds always produces identical
     traces.
+
+    Zero-delay callbacks — the bulk of a protocol simulation (signal
+    completions, process resumes, same-time hops) — bypass the heap via
+    an *immediate queue*, a FIFO deque whose entries carry the same
+    ``(time, sequence)`` keys as heap entries.  The run loop merges the
+    two by key, so the executed order is identical to the heap-only
+    kernel while zero-delay scheduling costs O(1) instead of O(log n).
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Any] = []
+        self._immediate: Deque[Tuple[float, int, Callable, tuple]] = deque()
         self._sequence = 0
         self._step_count = 0
+        self._max_steps: Optional[int] = None
+        self._until: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -265,7 +547,40 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, args))
+        if delay == 0.0:
+            self._immediate.append((self.now, self._sequence, callback, args))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, args))
+
+    def call_soon(self, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at the current time (after pending work).
+
+        Equivalent to ``schedule(0.0, ...)``, skipping the delay check.
+        """
+        self._sequence += 1
+        self._immediate.append((self.now, self._sequence, callback, args))
+
+    def idle_at_now(self) -> bool:
+        """True when no queued callback is due at the current timestamp.
+
+        Fast paths (the process trampoline, uncontended resource use)
+        may only shortcut the scheduler when this holds: the shortcut
+        then runs exactly what would have been the next callback.
+        """
+        if self._immediate:
+            return False
+        heap = self._heap
+        return not heap or heap[0][0] > self.now
+
+    def _count_inline_step(self) -> None:
+        """Account an inline trampoline resume as one scheduler step.
+
+        Steps are only counted while a ``max_steps`` budget is active.
+        """
+        if self._max_steps is not None:
+            self._step_count += 1
+            if self._step_count > self._max_steps:
+                raise SimulationError(f"exceeded max_steps={self._max_steps}")
 
     def signal(self, name: str = "") -> Signal:
         """Create a fresh pending :class:`Signal`."""
@@ -298,17 +613,75 @@ class Simulator:
         (a safety valve against accidental infinite loops).  Returns the
         final clock value.
         """
-        while self._heap:
-            fire_at, _seq, callback, args = self._heap[0]
-            if until is not None and fire_at > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = fire_at
-            self._step_count += 1
-            if max_steps is not None and self._step_count > max_steps:
-                raise SimulationError(f"exceeded max_steps={max_steps}")
-            callback(*args)
+        heap = self._heap
+        immediate = self._immediate
+        heappop = heapq.heappop
+        self._max_steps = max_steps
+        self._until = until
+        # The dispatch loop is an allocation storm of short-lived,
+        # mostly acyclic objects; cyclic-GC generation scans in the
+        # middle of it are pure overhead.  Pause collection while
+        # dispatching (restored in the finally; a paused collector is
+        # invisible to the simulation — determinism is unaffected).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        # The loop merges the immediate queue and the heap on
+        # (time, seq): both are ordered, so comparing the two fronts
+        # yields the globally next callback.  Three specializations keep
+        # per-dispatch branch count minimal; step accounting only runs
+        # under a max_steps budget.
+        try:
+            if max_steps is None and until is None:
+                while immediate or heap:
+                    if immediate and (not heap or heap[0] >= immediate[0]):
+                        entry = immediate.popleft()
+                    else:
+                        entry = heappop(heap)
+                    self.now = entry[0]
+                    entry[2](*entry[3])
+            elif max_steps is None:
+                while immediate or heap:
+                    if immediate and (not heap or heap[0] >= immediate[0]):
+                        entry = immediate[0]
+                        if entry[0] > until:
+                            self.now = until
+                            return self.now
+                        immediate.popleft()
+                    else:
+                        entry = heap[0]
+                        if entry[0] > until:
+                            self.now = until
+                            return self.now
+                        heappop(heap)
+                    self.now = entry[0]
+                    entry[2](*entry[3])
+            else:
+                while immediate or heap:
+                    if immediate and (not heap or heap[0] >= immediate[0]):
+                        entry = immediate[0]
+                        from_immediate = True
+                    else:
+                        entry = heap[0]
+                        from_immediate = False
+                    fire_at = entry[0]
+                    if until is not None and fire_at > until:
+                        self.now = until
+                        return self.now
+                    if from_immediate:
+                        immediate.popleft()
+                    else:
+                        heappop(heap)
+                    self.now = fire_at
+                    self._step_count += 1
+                    if self._step_count > max_steps:
+                        raise SimulationError(f"exceeded max_steps={max_steps}")
+                    entry[2](*entry[3])
+        finally:
+            self._max_steps = None
+            self._until = None
+            if gc_was_enabled:
+                gc.enable()
         if until is not None:
             self.now = max(self.now, until)
         return self.now
@@ -329,5 +702,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of callbacks still queued on the heap."""
-        return len(self._heap)
+        """Number of callbacks still queued (heap + immediate queue)."""
+        return len(self._heap) + len(self._immediate)

@@ -27,13 +27,17 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
-def percentile(values: Sequence[float], pct: float) -> float:
-    """The ``pct``-th percentile (0..100) by nearest-rank; 0.0 if empty."""
+def percentile(values: Sequence[float], pct: float, presorted: bool = False) -> float:
+    """The ``pct``-th percentile (0..100) by nearest-rank; 0.0 if empty.
+
+    Pass ``presorted=True`` to skip the sort when ``values`` is already
+    ordered (callers issuing percentile batches sort once up front).
+    """
     if not values:
         return 0.0
     if not 0.0 <= pct <= 100.0:
         raise ValueError(f"percentile out of range: {pct}")
-    ordered = sorted(values)
+    ordered = values if presorted else sorted(values)
     rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
     return ordered[rank]
 
@@ -53,36 +57,117 @@ class LatencySample:
 
 
 class LatencyRecorder:
-    """Collects completed-request samples and answers latency questions."""
+    """Collects completed-request samples and answers latency questions.
+
+    Storage is three append-only parallel lists (start, end, tag) — one
+    dataclass allocation per completed request was a measurable share of
+    the simulation hot path.  Completions from a simulator arrive in
+    nondecreasing end-time order, so ``since_ms`` windows are located
+    with :func:`bisect.bisect_left` instead of an O(n) scan; out-of-order
+    records (hand-fed in tests) degrade gracefully to scans.
+    """
 
     def __init__(self) -> None:
-        self.samples: List[LatencySample] = []
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+        self._tags: List[str] = []
+        # End times seen so far are nondecreasing (bisect is valid).
+        self._monotonic = True
+        # Single-slot cache of the last sorted latency view, keyed by
+        # (record-version, since_ms, tag): percentile batches over the
+        # same window sort once instead of once per call.
+        self._sorted_key: Optional[tuple] = None
+        self._sorted_view: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._ends)
 
     def record(self, start_ms: float, end_ms: float, tag: str = "") -> None:
         """Record one completed request."""
         if end_ms < start_ms:
             raise ValueError("request completed before it started")
-        self.samples.append(LatencySample(start_ms, end_ms, tag))
+        ends = self._ends
+        if ends and end_ms < ends[-1]:
+            self._monotonic = False
+        self._starts.append(start_ms)
+        ends.append(end_ms)
+        self._tags.append(tag)
+
+    @property
+    def samples(self) -> List[LatencySample]:
+        """Materialized sample objects (compatibility/introspection view)."""
+        return [
+            LatencySample(s, e, t)
+            for s, e, t in zip(self._starts, self._ends, self._tags)
+        ]
+
+    def _first_at_or_after(self, since_ms: float) -> int:
+        """Index of the first sample completing at/after ``since_ms``."""
+        if since_ms <= 0.0:
+            return 0
+        if self._monotonic:
+            return bisect.bisect_left(self._ends, since_ms)
+        for index, end in enumerate(self._ends):
+            if end >= since_ms:
+                return index
+        return len(self._ends)
 
     def latencies(self, since_ms: float = 0.0, tag: Optional[str] = None) -> List[float]:
         """Latency values completed at/after ``since_ms`` (optionally by tag)."""
+        lo = self._first_at_or_after(since_ms)
+        starts, ends, since = self._starts, self._ends, since_ms
+        if tag is None:
+            if self._monotonic:
+                return [ends[i] - starts[i] for i in range(lo, len(ends))]
+            return [
+                ends[i] - starts[i] for i in range(lo, len(ends)) if ends[i] >= since
+            ]
+        tags = self._tags
         return [
-            s.latency_ms
-            for s in self.samples
-            if s.end_ms >= since_ms and (tag is None or s.tag == tag)
+            ends[i] - starts[i]
+            for i in range(lo, len(ends))
+            if tags[i] == tag and (self._monotonic or ends[i] >= since)
+        ]
+
+    def latencies_between(self, since_ms: float, before_ms: float) -> List[float]:
+        """Latencies of completions in ``[since_ms, before_ms)``, record order."""
+        starts, ends = self._starts, self._ends
+        if self._monotonic:
+            lo = bisect.bisect_left(ends, since_ms)
+            hi = bisect.bisect_left(ends, before_ms)
+            return [ends[i] - starts[i] for i in range(lo, hi)]
+        return [
+            ends[i] - starts[i]
+            for i in range(len(ends))
+            if since_ms <= ends[i] < before_ms
         ]
 
     def count(self, since_ms: float = 0.0) -> int:
         """Number of completions at/after ``since_ms``."""
-        return sum(1 for s in self.samples if s.end_ms >= since_ms)
+        if self._monotonic:
+            return len(self._ends) - self._first_at_or_after(since_ms)
+        return sum(1 for end in self._ends if end >= since_ms)
 
     def mean_latency(self, since_ms: float = 0.0) -> float:
         """Mean latency of completions at/after ``since_ms``."""
         return mean(self.latencies(since_ms))
 
+    def _sorted_latencies(self, since_ms: float, tag: Optional[str]) -> List[float]:
+        key = (len(self._ends), since_ms, tag)
+        if key != self._sorted_key:
+            self._sorted_view = sorted(self.latencies(since_ms, tag))
+            self._sorted_key = key
+        return self._sorted_view
+
     def percentile_latency(self, pct: float, since_ms: float = 0.0) -> float:
-        """Latency percentile of completions at/after ``since_ms``."""
-        return percentile(self.latencies(since_ms), pct)
+        """Latency percentile of completions at/after ``since_ms``.
+
+        Repeated percentile queries over the same window (p50/p99/...
+        batches in ``measure()`` and SLA reports) reuse one cached
+        sorted view instead of re-sorting per call.
+        """
+        return percentile(self._sorted_latencies(since_ms, None), pct,
+                          presorted=True)
 
     def fraction_over(self, threshold_ms: float, since_ms: float = 0.0) -> float:
         """Fraction of requests with latency > threshold (SLA accounting)."""
@@ -94,12 +179,14 @@ class LatencyRecorder:
     def windowed_mean(self, window_ms: float, horizon_ms: float) -> "TimeSeries":
         """Mean latency per ``window_ms`` bucket over [0, horizon)."""
         buckets: Dict[int, List[float]] = {}
-        for sample in self.samples:
-            if sample.end_ms >= horizon_ms:
+        starts, ends = self._starts, self._ends
+        for i in range(len(ends)):
+            end = ends[i]
+            if end >= horizon_ms:
+                if self._monotonic:
+                    break
                 continue
-            buckets.setdefault(int(sample.end_ms // window_ms), []).append(
-                sample.latency_ms
-            )
+            buckets.setdefault(int(end // window_ms), []).append(end - starts[i])
         points = [
             ((index + 0.5) * window_ms, mean(values))
             for index, values in sorted(buckets.items())

@@ -16,7 +16,7 @@ to the runtimes built on top:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
 
 from .cluster import InstanceType
 from .kernel import Signal, Simulator
@@ -34,6 +34,11 @@ class Message:
     payload: Any
     size_bytes: int
     sent_at_ms: float
+
+
+def _ms_per_byte(gbps: float) -> float:
+    """Egress transmit cost in milliseconds per byte for a NIC speed."""
+    return 8.0 / (gbps * 1e6) if gbps > 0 else 0.0
 
 
 class LatencyModel:
@@ -66,13 +71,22 @@ class Network:
         self.latency = latency or LatencyModel()
         self.default_gbps = default_gbps
         self._mailboxes: Dict[str, Store] = {}
-        self._egress_gbps: Dict[str, float] = {}
-        # Egress link busy-until time per sender, for bandwidth FIFO.
-        self._egress_free_at: Dict[str, float] = {}
-        # Last delivery time per (src, dst), for per-pair FIFO.
-        self._last_delivery: Dict[Tuple[str, str], float] = {}
+        # Per-sender egress record ``[ms_per_byte, free_at_ms, last_by_dst]``
+        # — one dict lookup per transmission instead of three: transmit
+        # cost (precomputed ms/byte), link busy-until (bandwidth FIFO)
+        # and last delivery per destination (per-pair FIFO).
+        self._egress: Dict[str, list] = {}
+        self._default_ms_per_byte = _ms_per_byte(default_gbps)
         self.messages_sent = 0
         self.bytes_sent = 0
+
+    def _egress_record(self, src: str) -> list:
+        record = self._egress.get(src)
+        if record is None:
+            # Unregistered sender (tests drive these): default NIC.
+            record = [self._default_ms_per_byte, 0.0, {}]
+            self._egress[src] = record
+        return record
 
     # ------------------------------------------------------------------
     # Registration
@@ -88,13 +102,14 @@ class Network:
             raise ValueError(f"endpoint {name!r} already registered")
         box = mailbox if mailbox is not None else Store(self.sim, name=f"mbox:{name}")
         self._mailboxes[name] = box
-        self._egress_gbps[name] = itype.nic_gbps if itype else self.default_gbps
+        gbps = itype.nic_gbps if itype else self.default_gbps
+        self._egress[name] = [_ms_per_byte(gbps), 0.0, {}]
         return box
 
     def unregister(self, name: str) -> None:
         """Remove an endpoint (e.g. a decommissioned server)."""
         self._mailboxes.pop(name, None)
-        self._egress_gbps.pop(name, None)
+        self._egress.pop(name, None)
 
     def mailbox(self, name: str) -> Store:
         """The mailbox of a registered endpoint."""
@@ -126,15 +141,16 @@ class Network:
         if dst not in self._mailboxes:
             raise KeyError(f"unknown endpoint {dst!r}")
         now = self.sim.now
-        gbps = self._egress_gbps.get(src, self.default_gbps)
-        transmit_ms = (size_bytes * 8) / (gbps * 1e6) if gbps > 0 else 0.0
-        start = max(now, self._egress_free_at.get(src, 0.0))
-        finish = start + transmit_ms
-        self._egress_free_at[src] = finish
+        record = self._egress_record(src)
+        free = record[1]
+        finish = (now if now > free else free) + size_bytes * record[0]
+        record[1] = finish
         deliver_at = finish + self.latency.latency_ms(src, dst)
-        last = self._last_delivery.get((src, dst), 0.0)
-        deliver_at = max(deliver_at, last)
-        self._last_delivery[(src, dst)] = deliver_at
+        last_by_dst = record[2]
+        last = last_by_dst.get(dst, 0.0)
+        if deliver_at < last:
+            deliver_at = last
+        last_by_dst[dst] = deliver_at
         message = Message(src, dst, payload, size_bytes, now)
         self.messages_sent += 1
         self.bytes_sent += size_bytes
@@ -149,27 +165,44 @@ class Network:
 
         self.sim.schedule(deliver_at - now, deliver)
 
+    def delay_ms(self, src: str, dst: str, size_bytes: int = 256) -> float:
+        """The wait (ms) until a ``size_bytes`` message reaches ``dst``.
+
+        Process-style runtimes yield this float to 'travel' between
+        servers — the kernel resumes them directly, no signal needed.
+        Shares the egress link and per-pair FIFO bookkeeping with
+        :meth:`send`, so in-flight ordering between the two styles
+        stays consistent.
+        """
+        now = self.sim.now
+        record = self._egress.get(src)
+        if record is None:
+            record = self._egress_record(src)
+        free = record[1]
+        finish = (now if now > free else free) + size_bytes * record[0]
+        record[1] = finish
+        latency = self.latency
+        if type(latency) is LatencyModel:  # open-coded default model
+            deliver_at = finish + (
+                latency.same_host_ms if src == dst else latency.lan_ms
+            )
+        else:
+            deliver_at = finish + latency.latency_ms(src, dst)
+        last_by_dst = record[2]
+        last = last_by_dst.get(dst, 0.0)
+        if deliver_at < last:
+            deliver_at = last
+        last_by_dst[dst] = deliver_at
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        return deliver_at - now
+
     def delay_signal(self, src: str, dst: str, size_bytes: int = 256) -> "Signal":
         """A signal firing when a message of ``size_bytes`` would arrive.
 
-        Process-style runtimes (where the event itself is a simulator
-        process) use this instead of mailbox delivery: the event yields
-        the signal to 'travel' between servers.  Shares the egress link
-        and per-pair FIFO bookkeeping with :meth:`send`, so in-flight
-        ordering between the two styles stays consistent.
+        Signal-object variant of :meth:`delay_ms`, for callers that need
+        a waitable to combine or hand around.
         """
-        now = self.sim.now
-        gbps = self._egress_gbps.get(src, self.default_gbps)
-        transmit_ms = (size_bytes * 8) / (gbps * 1e6) if gbps > 0 else 0.0
-        start = max(now, self._egress_free_at.get(src, 0.0))
-        finish = start + transmit_ms
-        self._egress_free_at[src] = finish
-        deliver_at = finish + self.latency.latency_ms(src, dst)
-        last = self._last_delivery.get((src, dst), 0.0)
-        deliver_at = max(deliver_at, last)
-        self._last_delivery[(src, dst)] = deliver_at
-        self.messages_sent += 1
-        self.bytes_sent += size_bytes
-        signal = self.sim.signal(name=f"net:{src}->{dst}")
-        self.sim.schedule(deliver_at - now, signal.succeed, None)
+        signal = Signal(self.sim, "net")
+        self.sim.schedule(self.delay_ms(src, dst, size_bytes), signal.succeed, None)
         return signal

@@ -34,6 +34,8 @@ class Store:
         self.name = name
         self.items: Deque[Any] = deque()
         self._getters: Deque[Signal] = deque()
+        # Precomputed so the hot get() path never formats a name.
+        self._get_name = f"get:{name}"
 
     def put(self, item: Any) -> None:
         """Append ``item``; wakes the oldest waiting getter, if any."""
@@ -44,8 +46,13 @@ class Store:
             self.items.append(item)
 
     def get(self) -> Signal:
-        """Return a signal yielding the next item (FIFO)."""
-        signal = self.sim.signal(name=f"get:{self.name}")
+        """Return a signal yielding the next item (FIFO).
+
+        When an item is already available the signal comes back
+        pre-triggered — the process trampoline consumes it without a
+        scheduler hop.
+        """
+        signal = Signal(self.sim, self._get_name)
         if self.items:
             signal.succeed(self.items.popleft())
         else:
@@ -81,14 +88,18 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self.in_use = 0
-        self._waiters: Deque[Signal] = deque()
+        # Grant signals (request/use) and bare callbacks (enqueue_waiter)
+        # share one FIFO; release_unit dispatches on the entry type.
+        self._waiters: Deque[Any] = deque()
         # Accumulated busy core-milliseconds, for utilization accounting.
         self._busy_ms = 0.0
         self._last_change = 0.0
+        # Precomputed so the hot request() path never formats a name.
+        self._grant_name = f"grant:{name}"
 
     def request(self) -> Signal:
         """Return a signal that fires once a unit is granted."""
-        grant = self.sim.signal(name=f"grant:{self.name}")
+        grant = Signal(self.sim, self._grant_name)
         if self.in_use < self.capacity:
             self._account()
             self.in_use += 1
@@ -97,27 +108,100 @@ class Resource:
             self._waiters.append(grant)
         return grant
 
-    def release(self, grant: Signal) -> None:
-        """Release a previously granted unit."""
-        if not grant.triggered:
-            raise SimulationError("releasing a grant that was never acquired")
-        self._account()
-        if self._waiters:
-            waiter = self._waiters.popleft()
-            waiter.succeed(waiter)
+    def acquire_now(self) -> bool:
+        """Take a unit synchronously if one is free (no grant signal).
+
+        Callers that hold the unit across a plain timer yield pair this
+        with :meth:`release_unit` — the open-coded equivalent of
+        :meth:`use` for hot paths (the kernel's CpuCharge handling).
+        Returns False under contention.
+        """
+        if self.in_use < self.capacity:
+            now = self.sim.now
+            self._busy_ms += self.in_use * (now - self._last_change)
+            self._last_change = now
+            self.in_use += 1
+            return True
+        return False
+
+    def enqueue_waiter(self, callback: Callable[[], None]) -> None:
+        """Queue ``callback`` to run (via ``call_soon``) when a unit frees.
+
+        The signal-free counterpart of :meth:`request` used by the
+        kernel's CpuCharge handling: the release schedules the callback
+        at exactly the point the grant signal's completion would have.
+        """
+        self._waiters.append(callback)
+
+    def release_unit(self) -> None:
+        """Release one unit (the single release implementation)."""
+        now = self.sim.now
+        self._busy_ms += self.in_use * (now - self._last_change)
+        self._last_change = now
+        waiters = self._waiters
+        if waiters:
+            waiter = waiters.popleft()
+            if callable(waiter):
+                self.sim.call_soon(waiter)
+            else:
+                waiter.succeed(waiter)
         else:
             self.in_use -= 1
             if self.in_use < 0:
                 raise SimulationError(f"resource {self.name!r} over-released")
 
+    def grant_hop_needed(self) -> bool:
+        """After :meth:`acquire_now`: whether a ``yield None`` hop is due.
+
+        When the simulator is not idle at the current timestamp the
+        historical grant signal would have queued one resume behind the
+        pending callbacks; the caller must replicate that with a bare
+        cooperative hop to keep the deterministic order.  When idle, the
+        elided hop is accounted as one scheduler step (max_steps
+        parity).  This runs inside a generator frame, so it must not
+        raise the budget error itself (Process._step would convert it
+        into a process failure); an overrun is detected at the next
+        dispatch-loop boundary instead.
+        """
+        sim = self.sim
+        if sim._immediate or (sim._heap and sim._heap[0][0] <= sim.now):
+            return True
+        if sim._max_steps is not None:
+            sim._step_count += 1
+        return False
+
+    def release(self, grant: Signal) -> None:
+        """Release a previously granted unit."""
+        if not grant.triggered:
+            raise SimulationError("releasing a grant that was never acquired")
+        self.release_unit()
+
     def use(self, service_ms: float) -> Generator:
-        """Generator helper: acquire, hold for ``service_ms``, release."""
-        grant = self.request()
-        yield grant
+        """Generator helper: acquire, hold for ``service_ms``, release.
+
+        Uncontended fast path: when a unit is free *and* the simulator is
+        idle at the current timestamp, the grant is taken synchronously
+        (no grant signal, no scheduler hop) and the hold degenerates to a
+        single timeout.  The idle check keeps the event order identical
+        to the slow path: with other same-time callbacks pending, the
+        grant yield must queue behind them, so we fall through.
+        """
+        sim = self.sim
+        service_ms = float(service_ms)
+        if self.acquire_now():
+            if self.grant_hop_needed():
+                # Not idle at this timestamp: the triggered grant would
+                # have queued one resume behind the pending callbacks —
+                # a bare cooperative hop is the identical schedule.
+                yield None
+        else:
+            grant = Signal(sim, self._grant_name)
+            self._waiters.append(grant)
+            yield grant
         try:
-            yield self.sim.timeout(service_ms)
+            yield service_ms
         finally:
-            self.release(grant)
+            self.release_unit()
 
     def _account(self) -> None:
         now = self.sim.now
@@ -158,23 +242,44 @@ class Notifier:
         """Wake every currently waiting signal."""
         waiters, self._waiters = self._waiters, []
         for waiter in waiters:
-            waiter.succeed(None)
+            # A waiter may have been completed elsewhere (e.g. a
+            # wait_for that resolved out of band); skip, don't re-fire.
+            if not waiter.triggered:
+                waiter.succeed(None)
 
     def wait_for(self, predicate: Callable[[], bool]) -> Signal:
         """Signal that completes once ``predicate()`` is true.
 
         The predicate is evaluated immediately and then after every
-        notification.
+        notification.  When the wait resolves (including a ``done``
+        completed out of band), the helper's pending ``wait()`` signal
+        is pruned from the waiter list — otherwise abandoned waiters
+        accumulate until the next ``notify_all``, which under long
+        elasticity runs may never come (an unbounded leak).
         """
         done = self.sim.signal(name=f"wait_for:{self.name}")
+        pending: List[Optional[Signal]] = [None]
+
+        def prune() -> None:
+            stale = pending[0]
+            pending[0] = None
+            if stale is not None and not stale.triggered:
+                try:
+                    self._waiters.remove(stale)
+                except ValueError:
+                    pass
 
         def check(_signal: Optional[Signal] = None) -> None:
+            pending[0] = None
             if done.triggered:
                 return
             if predicate():
                 done.succeed(None)
             else:
-                self.wait().add_callback(check)
+                waiter = self.wait()
+                pending[0] = waiter
+                waiter.add_callback(check)
 
+        done.add_callback(lambda _s: prune())
         check()
         return done

@@ -60,18 +60,23 @@ class ClosedLoopClients:
             )
 
     def _loop(self, index: int) -> Generator:
-        sim = self.runtime.sim
-        handle = self.runtime.register_client(f"{self.name_prefix}-{index}")
+        runtime = self.runtime
+        sim = runtime.sim
+        handle = runtime.register_client(f"{self.name_prefix}-{index}")
         stream = self.rng.stream(f"{self.name_prefix}-{index}")
-        while self.stop_at_ms is None or sim.now < self.stop_at_ms:
-            spec, tag = self.sampler(stream)
+        sampler = self.sampler
+        submit = runtime.submit
+        stop_at = self.stop_at_ms
+        think_rate = 1.0 / self.think_ms if self.think_ms > 0 else None
+        expovariate = stream.expovariate
+        while stop_at is None or sim.now < stop_at:
+            spec, tag = sampler(stream)
             self.submitted += 1
-            done = handle.submit(spec, tag=tag)
-            event = yield done
+            event = yield submit(handle, spec, tag=tag)
             if event is not None and event.error is not None:
                 self.errors.append(event.error)
-            if self.think_ms > 0:
-                yield sim.timeout(stream.expovariate(1.0 / self.think_ms))
+            if think_rate is not None:
+                yield expovariate(think_rate)
 
 
 @dataclass
@@ -171,7 +176,7 @@ class DynamicClients:
                 self._spawned -= 1
                 self.active -= 1
             self.active_series.append((sim.now, self.active))
-            yield sim.timeout(self.tick_ms)
+            yield float(self.tick_ms)
 
     def _client_loop(self, client_id: int) -> Generator:
         sim = self.runtime.sim
@@ -185,4 +190,4 @@ class DynamicClients:
             done = handle.submit(spec, tag=tag)
             yield done
             if self.think_ms > 0:
-                yield sim.timeout(stream.expovariate(1.0 / self.think_ms))
+                yield stream.expovariate(1.0 / self.think_ms)

@@ -208,3 +208,47 @@ def test_notifier_wait_for_predicate_becomes_true():
 
     sim.process(flipper())
     assert sim.run_process(body()) == 4.0
+
+
+def test_notifier_wait_for_prunes_waiter_on_external_completion():
+    # A wait_for whose signal is completed out of band must not leave
+    # its helper wait() signal in the notifier's waiter list forever.
+    sim = Simulator()
+    gate = Notifier(sim)
+    done = gate.wait_for(lambda: False)
+    sim.run()
+    assert len(gate._waiters) == 1
+    done.succeed(None)
+    sim.run()
+    assert gate._waiters == []
+
+
+def test_notifier_notify_all_skips_already_triggered_waiters():
+    sim = Simulator()
+    gate = Notifier(sim)
+    waiter = gate.wait()
+    waiter.succeed("early")
+    gate.notify_all()  # must not double-complete the waiter
+    sim.run()
+    assert waiter.value == "early"
+
+
+def test_notifier_wait_for_repeated_cycles_do_not_accumulate_waiters():
+    sim = Simulator()
+    gate = Notifier(sim)
+    state = {"ready": False}
+
+    def driver():
+        for _ in range(50):
+            yield sim.timeout(1.0)
+            gate.notify_all()  # predicate still false: re-registers once
+        state["ready"] = True
+        yield sim.timeout(1.0)
+        gate.notify_all()
+
+    def body():
+        yield gate.wait_for(lambda: state["ready"])
+
+    sim.process(driver())
+    sim.run_process(body())
+    assert gate._waiters == []
