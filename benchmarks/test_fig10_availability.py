@@ -1,0 +1,21 @@
+"""Fig. 10 — goodput and p99 through a crash/recovery timeline."""
+
+from repro.harness.experiments import fig10, fig10_phases, render
+
+
+def test_fig10_availability(once):
+    data = once(fig10, scale="quick")
+    print("\n" + render("fig10", data))
+    for system, run in data.items():
+        phases = fig10_phases(run)
+        # The crash costs goodput while the victim's contexts are gone...
+        assert phases["outage"] < phases["pre"], f"{system}: no outage dip"
+        # ...and checkpoint-restore brings the system back to steady state.
+        assert phases["post"] >= 0.85 * phases["pre"], f"{system}: no recovery"
+        # The detector actually declared the victim dead, with a latency
+        # bounded by lease + check interval (650 + 100 ms, plus slack).
+        detections = [d for d in run["detections"] if d["latency_ms"] is not None]
+        assert detections, f"{system}: crash never detected"
+        assert all(d["latency_ms"] <= 1200.0 for d in detections)
+        # Everything the victim hosted was re-placed.
+        assert run["contexts_recovered"] > 0

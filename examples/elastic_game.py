@@ -18,18 +18,18 @@ from repro.sim import Cluster, M1_SMALL, Network, Simulator, RngRegistry
 from repro.workloads import DynamicClients, RampProfile
 
 
-def main():
-    duration_ms = 25_000.0
+def main(duration_ms=25_000.0, n_servers=6, rooms=12, machines=6):
+    """Run the elastic scenario (tests call this at a tiny scale)."""
     sla_ms = 10.0
 
     sim = Simulator()
     cluster = Cluster(sim, boot_delay_ms=1500.0)
     network = Network(sim)
-    servers = [cluster.add_server(M1_SMALL) for _ in range(6)]
+    servers = [cluster.add_server(M1_SMALL) for _ in range(n_servers)]
     runtime = AeonRuntime(sim, network, cluster)
 
-    # The arena: 12 rooms spread over the starting servers.
-    config = GameConfig(rooms=12, players_per_room=6, shared_items_per_room=2)
+    # The arena: rooms spread over the starting servers.
+    config = GameConfig(rooms=rooms, players_per_room=6, shared_items_per_room=2)
     app = build_game(runtime, config, "aeon", servers=servers)
 
     # The elasticity manager with the SLA policy of §6.2.
@@ -39,8 +39,9 @@ def main():
                        report_interval_ms=1000.0, max_concurrent_migrations=4)
     manager.start()
 
-    # Clients ramp 8 -> 96 -> 8 following a normal-shaped curve.
-    profile = RampProfile.normal_peak(duration_ms, machines=6,
+    # Clients ramp up and back down following a normal-shaped curve
+    # (8 -> 96 -> 8 at the default scale).
+    profile = RampProfile.normal_peak(duration_ms, machines=machines,
                                       min_per_machine=1, max_per_machine=16)
     clients = DynamicClients(runtime, app.sample_op, profile, think_ms=40.0,
                              rng=RngRegistry(7), stop_at_ms=duration_ms)

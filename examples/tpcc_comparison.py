@@ -20,7 +20,7 @@ DURATION_MS = 8000.0
 WARMUP_MS = 2500.0
 
 
-def run_system(system):
+def run_system(system, duration_ms=DURATION_MS, warmup_ms=WARMUP_MS, n_clients=48):
     testbed = make_testbed(system, n_servers=4, seed=1)
     config = TpccConfig(districts=4, customers_per_district=10)
     deployment = build_tpcc(
@@ -32,16 +32,16 @@ def run_system(system):
     )
     workload = TpccWorkload(deployment, system)
     clients = ClosedLoopClients(
-        testbed.runtime, workload.sample_op, n_clients=48,
-        think_ms=5.0, rng=testbed.rng, stop_at_ms=DURATION_MS,
+        testbed.runtime, workload.sample_op, n_clients=n_clients,
+        think_ms=5.0, rng=testbed.rng, stop_at_ms=duration_ms,
     )
     clients.start()
-    testbed.sim.run(until=DURATION_MS + 15000.0)
+    testbed.sim.run(until=duration_ms + 15000.0)
 
     runtime = testbed.runtime
-    window_s = (DURATION_MS - WARMUP_MS) / 1000.0
-    throughput = runtime.throughput.count_between(WARMUP_MS, DURATION_MS) / window_s
-    latency = runtime.latency.mean_latency(WARMUP_MS)
+    window_s = (duration_ms - warmup_ms) / 1000.0
+    throughput = runtime.throughput.count_between(warmup_ms, duration_ms) / window_s
+    latency = runtime.latency.mean_latency(warmup_ms)
     probe = deployment.consistency_probe()
     consistent = (
         probe["warehouse_ytd"] == probe["district_ytd"] == probe["customer_ytd"]
@@ -49,10 +49,14 @@ def run_system(system):
     return throughput, latency, consistent, probe
 
 
-def main():
+def main(systems=SYSTEMS, duration_ms=DURATION_MS, warmup_ms=WARMUP_MS,
+         n_clients=48):
+    """Compare the systems (tests call this with a reduced roster/scale)."""
     print(f"{'system':>13}  {'txn/s':>8}  {'mean lat':>9}  {'YTD invariant':>14}")
-    for system in SYSTEMS:
-        throughput, latency, consistent, probe = run_system(system)
+    for system in systems:
+        throughput, latency, consistent, probe = run_system(
+            system, duration_ms, warmup_ms, n_clients
+        )
         verdict = "holds" if consistent else "VIOLATED"
         print(f"{system:>13}  {throughput:8.0f}  {latency:8.1f}m  {verdict:>14}")
         if not consistent:

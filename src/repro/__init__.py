@@ -10,6 +10,8 @@ Subpackages
     The eManager: context mapping, elasticity policies, migration.
 ``repro.baselines``
     EventWave and Orleans runtime models used as comparison baselines.
+``repro.faults``
+    Fault injection, failure detection and crash-recovery drivers.
 ``repro.apps``
     The game application and the TPC-C benchmark.
 ``repro.workloads``

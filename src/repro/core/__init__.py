@@ -28,8 +28,10 @@ from .errors import (
     OwnershipCycleError,
     OwnershipViolationError,
     ReadOnlyViolationError,
+    RetryableError,
     StaticAnalysisError,
     UnknownContextError,
+    is_retryable,
 )
 from .events import (
     AccessMode,
@@ -74,6 +76,7 @@ __all__ = [
     "ReadOnlyViolationError",
     "Ref",
     "RefSet",
+    "RetryableError",
     "RuntimeBase",
     "SerializabilityViolation",
     "Sleep",
@@ -87,6 +90,7 @@ __all__ = [
     "cost",
     "dispatch",
     "is_readonly",
+    "is_retryable",
     "method_cost",
     "readonly",
     "sleep",

@@ -16,6 +16,7 @@ overrides the default CPU work charged for executing it.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Type, Union
 
 from .errors import AeonError
@@ -317,6 +318,24 @@ class ContextClass:
             for name, view in self._aeon_refsets.items()
         }
         return state
+
+    def state_restore(self, state: Dict[str, Any]) -> None:
+        """Reset the plain persistent fields from a snapshot bundle entry.
+
+        The crash-recovery path (§5.3): the context's volatile state is
+        rolled back to the checkpoint.  Ref/RefSet wiring is left alone
+        — ownership edges and the context mapping live in the runtime
+        and cloud storage, not on the crashed server — and the version
+        counter is bumped so later readers observe the rollback as a
+        write.  Values are deep-copied in: the same durable bundle may
+        restore this context again after a second crash, so the live
+        instance must never share mutables with it.
+        """
+        for key, value in state.items():
+            if key in ("__refs__", "__refsets__"):
+                continue
+            setattr(self, key, copy.deepcopy(value))
+        self._aeon_version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self._aeon_cid}>"

@@ -10,11 +10,34 @@ __all__ = [
     "OwnershipViolationError",
     "ReadOnlyViolationError",
     "MigrationError",
+    "RetryableError",
+    "is_retryable",
 ]
 
 
 class AeonError(Exception):
     """Base class for all AEON-specific errors."""
+
+    #: Transient errors (delivery failures during a crash or partition)
+    #: set this True; clients may resubmit the event once the fault
+    #: heals.  Programming errors (ownership violations etc.) stay False.
+    retryable = False
+
+
+class RetryableError(AeonError):
+    """A transient failure: resubmitting the operation may succeed."""
+
+    retryable = True
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether ``exc`` marks a transient, retry-worthy failure.
+
+    Duck typed on a ``retryable`` attribute so that
+    :class:`repro.sim.network.DeliveryError` (a sim-layer class the core
+    cannot import without inverting the layering) participates.
+    """
+    return bool(getattr(exc, "retryable", False))
 
 
 class OwnershipCycleError(AeonError):

@@ -48,7 +48,12 @@ from .history import HistoryRecorder
 from .locking import ContextLock
 from .ownership import OwnershipNetwork
 
-__all__ = ["RuntimeBase", "ClientHandle", "Branch"]
+__all__ = ["RuntimeBase", "ClientHandle", "Branch", "FAILED_TAG"]
+
+#: Latency-recorder tag replacing the event's own tag when it completes
+#: with an error; availability experiments use it to separate goodput
+#: (successful completions) from failed/lost work.
+FAILED_TAG = "!failed"
 
 
 class Branch:
@@ -81,10 +86,19 @@ class ClientHandle:
         self._cache: Dict[str, str] = {}
 
     def locate(self, cid: str) -> str:
-        """Best-known server name for ``cid`` (cache, else authoritative)."""
+        """Best-known server name for ``cid`` (cache, else authoritative).
+
+        A cached entry pointing at a dead (crashed or decommissioned)
+        server is discarded and re-resolved against the authoritative
+        mapping — the client equivalent of falling back to the cloud
+        mapping when the cached server stops answering.  Stale entries
+        pointing at live servers still cost the forward hop (§5.1).
+        """
         cached = self._cache.get(cid)
-        if cached is not None and cached in self.runtime.cluster.servers:
-            return cached
+        if cached is not None:
+            server = self.runtime.cluster.servers.get(cached)
+            if server is not None and server.alive:
+                return cached
         actual = self.runtime.placement[cid]
         self._cache[cid] = actual
         return actual
@@ -144,6 +158,7 @@ class RuntimeBase:
         self._registered_classes: Set[str] = set()
         self.events_inflight = 0
         self.events_completed = 0
+        self.events_failed = 0
         self._charge_obj = CpuCharge(None, 0.0)  # reused; see _charge
         # Per-event lock bookkeeping (held set, open branch count,
         # quiescence signal, deferred lock list) lives on the Event
@@ -364,7 +379,15 @@ class RuntimeBase:
         event.deferred_locks = []
         self.events_inflight -= 1
         self.events_completed += 1
-        self.latency.record(event.submitted_ms, self.sim.now, tag=event.tag)
+        # Errored events (including delivery failures during a crash or
+        # partition — surfaced on event.error as retryable) are recorded
+        # under FAILED_TAG so availability analyses can separate goodput
+        # from lost work without a second recorder on this hot path.
+        if event.error is None:
+            self.latency.record(event.submitted_ms, self.sim.now, tag=event.tag)
+        else:
+            self.events_failed += 1
+            self.latency.record(event.submitted_ms, self.sim.now, tag=FAILED_TAG)
         self.throughput.record(self.sim.now)
         if self.history is not None and event.error is None:
             self.history.commit(

@@ -14,7 +14,7 @@ from .policies import (
     ServerReport,
     SLAPolicy,
 )
-from .snapshot import snapshot_context
+from .snapshot import fuzzy_snapshot, snapshot_context
 from .storage import CloudStorage
 
 __all__ = [
@@ -32,5 +32,6 @@ __all__ = [
     "ServerContentionPolicy",
     "ServerReport",
     "SLAPolicy",
+    "fuzzy_snapshot",
     "snapshot_context",
 ]

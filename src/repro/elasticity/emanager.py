@@ -16,17 +16,25 @@ Every ``report_interval_ms`` it:
 ``crash()`` kills the manager mid-flight; ``recover()`` builds a fresh
 manager that reads the WAL from storage and completes unfinished
 migrations — the §5.3 fault-tolerance story.
+
+:meth:`EManager.enable_fault_tolerance` extends §5.3 from manager
+crashes to **server** crashes: a periodic checkpointing policy snapshots
+configured context subtrees to cloud storage, and a failure detector's
+declarations trigger re-placement of the lost contexts from their last
+checkpoint through the migration coordinator's restore path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
+from ..core.errors import MigrationError
 from ..core.runtime import RuntimeBase
 from ..sim.cluster import InstanceType, Server
 from ..sim.kernel import Signal
 from ..sim.metrics import TimeSeries, mean, percentile
 from .migration import MigrationCoordinator, MigrationRecord
+from .snapshot import fuzzy_snapshot, snapshot_context, subtree_members
 from .policies import (
     Action,
     ClusterSnapshot,
@@ -48,7 +56,7 @@ class EManager:
         self,
         runtime: RuntimeBase,
         storage: CloudStorage,
-        policy: ElasticityPolicy,
+        policy: Optional[ElasticityPolicy],
         instance_type: InstanceType,
         report_interval_ms: float = 1000.0,
         max_concurrent_migrations: int = 4,
@@ -71,6 +79,23 @@ class EManager:
         self.server_count_series = TimeSeries()
         self._latency_mark = 0
         self._draining: Dict[str, bool] = {}
+        # Fault tolerance (enable_fault_tolerance): periodic checkpoints
+        # and crash recovery driven by a failure detector.
+        self.checkpoint_interval_ms: Optional[float] = None
+        self.checkpoints_taken = 0
+        self.contexts_recovered = 0
+        self.contexts_restored_without_checkpoint = 0
+        self.recoveries = 0
+        self.false_detections = 0
+        self.recovery_log: List[Dict[str, Any]] = []
+        self._checkpoint_roots: List[str] = []
+        self._checkpointing = False
+        self._consistent_checkpoints = True
+        self._recovering: Dict[str, bool] = {}
+        # Names currently counted as false alarms: the detector
+        # re-declares a silent suspect every lease, but one partition is
+        # one false detection, counted on the suspicion transition only.
+        self._false_suspects: Dict[str, bool] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -83,13 +108,15 @@ class EManager:
         self.runtime.sim.process(self._loop(), name="emanager")
 
     def stop(self) -> None:
-        """Stop the loop at the next tick."""
+        """Stop the control (and checkpoint) loops at their next tick."""
         self.running = False
+        self._checkpointing = False
 
     def crash(self) -> None:
         """Fail-stop the manager (in-flight migrations keep their WAL)."""
         self.crashed = True
         self.running = False
+        self._checkpointing = False
         self.coordinator.halted = True
 
     def recover(self) -> "EManager":
@@ -106,6 +133,12 @@ class EManager:
             payload = self.storage.peek(key)
             if not payload or payload.get("step") in (None, "done"):
                 continue
+            if payload.get("kind", "migrate") != "migrate":
+                # Half-done restores are not WAL-resumed: re-wire the
+                # successor with enable_fault_tolerance and the
+                # detector's periodic re-declaration of a still-silent
+                # suspect re-drives whatever is still mapped to it.
+                continue
             record = MigrationRecord(
                 migration_id=payload["migration_id"],
                 cid=payload["cid"],
@@ -121,6 +154,212 @@ class EManager:
         return successor
 
     # ------------------------------------------------------------------
+    # Server fault tolerance: checkpoints + crash recovery (§5.3)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def checkpoint_key(root_cid: str) -> str:
+        """Stable storage key of a subtree's rolling checkpoint."""
+        return f"checkpoint/{root_cid}"
+
+    def enable_fault_tolerance(
+        self,
+        detector: Any,
+        checkpoint_interval_ms: float = 2000.0,
+        roots: Optional[List[str]] = None,
+        consistent_checkpoints: bool = True,
+    ) -> None:
+        """Checkpoint ``roots``' subtrees periodically; recover on crashes.
+
+        ``detector`` is duck typed (``on_failure(callback)`` — a
+        :class:`repro.faults.FailureDetector`); its declarations trigger
+        re-placement of every context the dead server hosted, rolled
+        back to its last checkpoint, via the coordinator's restore path.
+        ``roots`` defaults to every non-virtual root of the ownership
+        network at enable time (checkpoint the world).
+
+        ``consistent_checkpoints=False`` switches to lock-free per-context
+        capture (:func:`~repro.elasticity.snapshot.fuzzy_snapshot`) —
+        required for runtimes whose locking has no global acquisition
+        order (Orleans' per-call turn locks deadlock against a
+        subtree-locking snapshot).
+        """
+        self.checkpoint_interval_ms = checkpoint_interval_ms
+        self._consistent_checkpoints = consistent_checkpoints
+        if roots is None:
+            ownership = self.runtime.ownership
+            roots = sorted(
+                cid for cid in ownership.roots() if not ownership.is_virtual(cid)
+            )
+        self._checkpoint_roots = list(roots)
+        detector.on_failure(self._on_server_failure)
+        on_recovery = getattr(detector, "on_recovery", None)
+        if on_recovery is not None:
+            on_recovery(self._on_server_recovered)
+        if checkpoint_interval_ms and not self._checkpointing:
+            self._checkpointing = True
+            self.runtime.sim.process(self._checkpoint_loop(), name="checkpointer")
+
+    def _checkpoint_loop(self) -> Generator:
+        runtime = self.runtime
+        while self._checkpointing and not self.crashed:
+            yield runtime.sim.timeout(self.checkpoint_interval_ms)
+            if not self._checkpointing or self.crashed:
+                return
+            for root in self._checkpoint_roots:
+                instance = runtime.instances.get(root)
+                if instance is None:
+                    continue
+                # A subtree with ANY member on a dead server keeps its
+                # previous checkpoint: capturing the ghost memory of a
+                # crashed host would mask exactly the state loss this
+                # machinery exists to model.
+                members_alive = True
+                for member in subtree_members(runtime, root):
+                    host = runtime.cluster.servers.get(
+                        runtime.placement.get(member, "")
+                    )
+                    if host is None or not host.alive:
+                        members_alive = False
+                        break
+                if not members_alive:
+                    continue
+                if self._consistent_checkpoints:
+                    done = snapshot_context(
+                        runtime, self.storage, instance.ref,
+                        key=self.checkpoint_key(root),
+                    )
+                else:
+                    done = fuzzy_snapshot(
+                        runtime, self.storage, root, key=self.checkpoint_key(root)
+                    )
+                try:
+                    yield done
+                except Exception:  # noqa: BLE001 - keep checkpointing others
+                    continue
+                self.checkpoints_taken += 1
+
+    def _on_server_failure(self, server_name: str) -> None:
+        self.runtime.sim.process(
+            self._recover_server(server_name), name=f"recover-{server_name}"
+        )
+
+    def _on_server_recovered(self, server_name: str) -> None:
+        # The suspect heartbeats again: a future suspicion is a fresh
+        # (possibly false) detection, counted anew.
+        self._false_suspects.pop(server_name, None)
+
+    def _recover_server(self, name: str) -> Generator:
+        """Re-place everything a dead server hosted from last checkpoints."""
+        if self._recovering.get(name):
+            return  # the detector re-declared mid-recovery; one is enough
+        self._recovering[name] = True
+        try:
+            yield from self._recover_server_inner(name)
+        finally:
+            self._recovering.pop(name, None)
+
+    def _recover_server_inner(self, name: str) -> Generator:
+        runtime = self.runtime
+        sim = runtime.sim
+        server = runtime.cluster.servers.get(name)
+        if server is not None and server.alive:
+            # The detector was partitioned away from a healthy server;
+            # ground truth says nothing was lost.  Real deployments fence
+            # instead — here we only count the false alarm (once per
+            # suspicion episode, not per lease re-declaration).
+            if not self._false_suspects.get(name):
+                self._false_suspects[name] = True
+                self.false_detections += 1
+            return
+        ownership = runtime.ownership
+        # Containers first so arriving events find the parents settled.
+        lost = sorted(
+            (
+                cid
+                for cid, host in runtime.placement.items()
+                if host == name and not ownership.is_virtual(cid)
+            ),
+            key=lambda cid: (len(ownership.ancestors(cid)), cid),
+        )
+        if not lost:
+            return
+        targets = sorted(
+            runtime.cluster.alive_servers().values(),
+            key=lambda s: (s.context_count, s.name),
+        )
+        if not targets:
+            self.recovery_log.append(
+                {"server": name, "contexts": len(lost), "status": "no-targets"}
+            )
+            return
+        self.recoveries += 1
+        started = sim.now
+        # Map each lost context to the checkpoint bundle covering it and
+        # download each needed bundle from cloud storage once; the
+        # per-context state is then pushed to its new host by restore().
+        cover: Dict[str, str] = {}
+        for root in self._checkpoint_roots:
+            members = ownership.descendants(root)
+            for cid in lost:
+                if cid in members and cid not in cover:
+                    cover[cid] = root
+        bundles: Dict[str, dict] = {}
+        for root in sorted(set(cover.values())):
+            # The bundle holds the WHOLE subtree's states (that is how
+            # the checkpoint wrote it), so the download is priced by the
+            # full subtree even when only part of it was lost.
+            size = sum(
+                int(getattr(runtime.instances.get(member), "size_bytes", 1024))
+                for member in subtree_members(runtime, root)
+                if member in runtime.instances
+            )
+            value = yield self.storage.read(
+                self.checkpoint_key(root), size_bytes=max(size, 64)
+            )
+            if value:
+                bundles[root] = value
+        # One new host per lost subtree: co-location survives recovery.
+        assignment: Dict[str, Server] = {}
+        rotation = 0
+        pending: List[Signal] = []
+        for cid in lost:
+            root = cover.get(cid)
+            group = root if root is not None else cid
+            dst = assignment.get(group)
+            if dst is None:
+                dst = targets[rotation % len(targets)]
+                rotation += 1
+                assignment[group] = dst
+            state = bundles.get(root, {}).get(cid) if root is not None else None
+            if state is None:
+                self.contexts_restored_without_checkpoint += 1
+            try:
+                pending.append(self.coordinator.restore(cid, dst, state))
+            except MigrationError:
+                # The chosen target died (or the context vanished) while
+                # this recovery was in flight.  Skip the context rather
+                # than killing the whole recovery process — the rest of
+                # the lost set still restores.
+                continue
+        restored = 0
+        for signal in pending:
+            try:
+                yield signal
+            except Exception:  # noqa: BLE001 - count what did come back
+                continue
+            restored += 1
+        self.contexts_recovered += restored
+        self.recovery_log.append(
+            {
+                "server": name,
+                "contexts": len(lost),
+                "restored": restored,
+                "started_ms": started,
+                "finished_ms": sim.now,
+            }
+        )
+
+    # ------------------------------------------------------------------
     # The control loop
     # ------------------------------------------------------------------
     def _loop(self) -> Generator:
@@ -132,7 +371,7 @@ class EManager:
             self.server_count_series.add(
                 self.runtime.sim.now, len(snapshot.alive_reports())
             )
-            actions = self.policy.decide(snapshot)
+            actions = self.policy.decide(snapshot) if self.policy is not None else []
             yield from self._execute(actions, snapshot)
             # Persist the mapping epoch (the stateless-manager story).
             yield self.storage.write(

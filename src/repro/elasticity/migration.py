@@ -53,6 +53,9 @@ class MigrationRecord:
     started_ms: float = 0.0
     finished_ms: Optional[float] = None
     size_bytes: int = 0
+    #: "migrate" (live five-step protocol) or "restore" (crash recovery:
+    #: no live source, state comes from the last checkpoint).
+    kind: str = "migrate"
 
     def as_payload(self) -> dict:
         """Serializable WAL form."""
@@ -62,6 +65,7 @@ class MigrationRecord:
             "src": self.src,
             "dst": self.dst,
             "step": self.step,
+            "kind": self.kind,
         }
 
 
@@ -88,6 +92,7 @@ class MigrationCoordinator:
         self._counter = 0
         self.completed = 0
         self.failed = 0
+        self.restored = 0
         #: Set on eManager crash: in-flight migrations stop at their
         #: next step boundary, leaving their WAL record for recovery.
         self.halted = False
@@ -101,6 +106,39 @@ class MigrationCoordinator:
         done = self.runtime.sim.signal(name=f"migration:{record.migration_id}")
         self.runtime.sim.process(
             self._run(record, done), name=f"migration-{record.migration_id}"
+        )
+        return done
+
+    def restore(self, cid: str, dst: Server, state: Optional[dict] = None) -> Signal:
+        """Re-place a context lost in a server crash onto ``dst`` (§5.3).
+
+        A *recovery migration*: there is no live source to drain, so the
+        five-step protocol degenerates to prepare → durable remap →
+        state push.  ``state`` is the context's last checkpointed state
+        bundle entry (``None`` when no checkpoint covers it — the
+        context is re-placed with whatever state survives, and the
+        caller accounts the gap).  Returns the completion signal.
+        """
+        if cid not in self.runtime.placement:
+            raise MigrationError(f"cannot restore unknown context {cid!r}")
+        if not dst.alive:
+            raise MigrationError(f"restore destination {dst.name} is not booted")
+        self._counter += 1
+        instance = self.runtime.instances.get(cid)
+        record = MigrationRecord(
+            migration_id=self._counter,
+            cid=cid,
+            src=self.runtime.placement[cid],
+            dst=dst.name,
+            kind="restore",
+            started_ms=self.runtime.sim.now,
+            size_bytes=int(getattr(instance, "size_bytes", 1024)),
+        )
+        self.records.append(record)
+        done = self.runtime.sim.signal(name=f"restore:{record.migration_id}")
+        self.runtime.sim.process(
+            self._run_restore(record, state, done),
+            name=f"restore-{record.migration_id}",
         )
         return done
 
@@ -200,6 +238,88 @@ class MigrationCoordinator:
         except Exception as exc:  # noqa: BLE001 - surfaced to the caller
             self.failed += 1
             done.fail(MigrationError(f"migration of {record.cid!r} failed: {exc}"))
+
+    def _run_restore(
+        self, record: MigrationRecord, state: Optional[dict], done: Signal
+    ) -> Generator:
+        sim = self.runtime.sim
+        network = self.runtime.network
+        try:
+            # eManager bookkeeping (CPU on the eManager host).
+            yield from self.host.execute(self.EMANAGER_CPU_MS)
+            yield sim.timeout(self.BASE_OVERHEAD_MS)
+            yield from self._log(record, "prepared")
+            if self.halted:
+                return
+
+            # Prepare the destination (it allocates the pending queue).
+            yield network.delay_signal(self.host.name, record.dst)
+            yield network.delay_signal(record.dst, self.host.name)
+
+            # Durably remap: new lookups resolve to the new host.
+            yield self.storage.write(
+                f"mapping/{record.cid}", record.dst, size_bytes=64
+            )
+            yield from self._log(record, "remapped")
+            if self.halted:
+                return
+
+            # Take the context's lock: anything the dying holder left is
+            # drained first (failed in-flight events release on death),
+            # and events admitted behind us execute at the new host.
+            restorec = Event(
+                eid=-500_000 - record.migration_id,  # synthetic id space
+                spec=CallSpec(record.cid, "__restore__"),
+                mode=AccessMode.EX,
+                client="~emanager",
+                submitted_ms=sim.now,
+                tag="restore",
+            )
+            lock = self.runtime.lock_of(record.cid)
+            grant, _owned = lock.request(restorec)
+            yield grant
+            try:
+                # Push the checkpointed state to the destination and
+                # roll the instance back to it.
+                yield network.delay_signal(
+                    self.host.name, record.dst, size_bytes=record.size_bytes
+                )
+                instance = self.runtime.instances.get(record.cid)
+                if instance is not None and state is not None:
+                    instance.state_restore(state)
+                self._apply_restore_placement(record)
+                yield from self._log(record, "moved")
+            finally:
+                lock.release(restorec)
+            yield network.delay_signal(record.dst, self.host.name)
+            yield from self._log(record, "done")
+            record.finished_ms = sim.now
+            self.completed += 1
+            self.restored += 1
+            done.succeed(record)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            self.failed += 1
+            done.fail(MigrationError(f"restore of {record.cid!r} failed: {exc}"))
+
+    def _apply_restore_placement(self, record: MigrationRecord) -> None:
+        """Force the placement to the restore destination.
+
+        Unlike :meth:`_apply_placement` the source may be a dead server
+        (or even already-moved bookkeeping from a half-completed earlier
+        attempt); the destination must be alive.
+        """
+        placement = self.runtime.placement
+        current = placement.get(record.cid)
+        if current == record.dst:
+            return
+        dst_server = self.runtime.cluster.servers.get(record.dst)
+        if dst_server is None or not dst_server.alive:
+            raise MigrationError(f"restore destination {record.dst} vanished")
+        src_server = self.runtime.cluster.servers.get(current) if current else None
+        placement[record.cid] = record.dst
+        if src_server is not None:
+            src_server.context_count -= 1
+        dst_server.context_count += 1
 
     def _apply_placement(self, record: MigrationRecord) -> None:
         placement = self.runtime.placement

@@ -5,10 +5,18 @@ that captures the state of the context *and all its descendants* as of a
 single point in the serial order, then writes the bundle to cloud
 storage.  A context whose ``state_snapshot`` returns ``None`` is skipped
 (the paper's checkpoint-skipping override).
+
+:func:`fuzzy_snapshot` is the uncoordinated counterpart — per-context
+state capture with no cross-context locking, modelling per-grain
+persistence (Orleans): the bundle may mix states from different points
+of the serial order.  Runtimes whose locking has no global acquisition
+order (Orleans' per-call turn locks) must use it: a subtree-locking
+snapshot can deadlock against their events.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Generator, List, Optional
 
 from ..core.context import ContextRef
@@ -17,9 +25,58 @@ from ..core.runtime import RuntimeBase
 from ..sim.kernel import Signal
 from .storage import CloudStorage
 
-__all__ = ["snapshot_context"]
+__all__ = ["snapshot_context", "fuzzy_snapshot"]
 
 _SNAPSHOT_COUNTER = [0]
+
+
+def _collect_states(runtime: RuntimeBase, ordered: List[str]) -> tuple:
+    """``(states, total_bytes)`` for the given member contexts.
+
+    States are deep-copied: ``state_snapshot`` returns field *values* by
+    reference, and a durable bundle aliasing a live dict/list would be
+    mutated in place by later events — turning a rollback-to-checkpoint
+    into a silent no-op for any non-scalar field.
+    """
+    states: Dict[str, dict] = {}
+    total_bytes = 0
+    for cid in ordered:
+        instance = runtime.instances.get(cid)
+        if instance is None:
+            continue
+        state = instance.state_snapshot()
+        if state is None:
+            continue  # checkpoint-skipping override
+        states[cid] = copy.deepcopy(state)
+        total_bytes += int(getattr(instance, "size_bytes", 1024))
+    return states, total_bytes
+
+
+def subtree_members(runtime: RuntimeBase, root_cid: str) -> List[str]:
+    """The non-virtual contexts of ``root_cid``'s subtree, sorted."""
+    ownership = runtime.ownership
+    return sorted(
+        cid for cid in ownership.descendants(root_cid) if not ownership.is_virtual(cid)
+    )
+
+
+def fuzzy_snapshot(
+    runtime: RuntimeBase,
+    storage: CloudStorage,
+    root_cid: str,
+    key: Optional[str] = None,
+) -> Signal:
+    """Checkpoint a subtree with per-context capture and no locks.
+
+    States are read at the call instant (each simulator callback is
+    atomic, so individual states are never torn) but without any
+    cross-context coordination — the weaker per-grain-persistence
+    guarantee.  Returns the storage write's completion signal.
+    """
+    _SNAPSHOT_COUNTER[0] += 1
+    storage_key = key or f"snapshot/{root_cid}/{_SNAPSHOT_COUNTER[0]}"
+    states, total_bytes = _collect_states(runtime, subtree_members(runtime, root_cid))
+    return storage.write(storage_key, states, size_bytes=max(total_bytes, 64))
 
 
 def snapshot_context(
@@ -64,9 +121,7 @@ def _run_snapshot(
     done: Signal,
 ) -> Generator:
     ownership = runtime.ownership
-    members = sorted(
-        cid for cid in ownership.descendants(root_cid) if not ownership.is_virtual(cid)
-    )
+    members = subtree_members(runtime, root_cid)
     # Read-lock the subtree top-down (ancestors before descendants) so
     # acquisition order is consistent with every other event.
     ordered = sorted(members, key=lambda cid: (len(ownership.ancestors(cid)), cid))
@@ -77,17 +132,7 @@ def _run_snapshot(
             grant, _owned = lock.request(event)
             yield grant
             locks.append(lock)
-        states: Dict[str, dict] = {}
-        total_bytes = 0
-        for cid in ordered:
-            instance = runtime.instances.get(cid)
-            if instance is None:
-                continue
-            state = instance.state_snapshot()
-            if state is None:
-                continue  # checkpoint-skipping override
-            states[cid] = state
-            total_bytes += int(getattr(instance, "size_bytes", 1024))
+        states, total_bytes = _collect_states(runtime, ordered)
         yield storage.write(storage_key, states, size_bytes=max(total_bytes, 64))
         done.succeed(storage_key)
     except Exception as exc:  # noqa: BLE001 - surfaced to the caller

@@ -1,0 +1,232 @@
+"""The fault injector: turns a :class:`FaultSchedule` into simulator events.
+
+The injector owns the *ground truth* of what is broken at any instant:
+
+* crashed servers — marked down on the :class:`~repro.sim.cluster.Server`
+  (``crash()``), their mailbox detached from the network, and recorded in
+  the shared :class:`NetworkFaults` filter so traffic involving them
+  fails;
+* active partitions and degraded links — windows registered/removed on
+  the filter at their scheduled boundaries.
+
+With an **empty schedule nothing is installed at all** — ``Network.fault``
+stays ``None`` and every trace is byte-identical to a fault-free run
+(this is pinned by the determinism tests).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.cluster import Cluster
+from ..sim.kernel import Simulator
+from ..sim.network import DeliveryError, Network
+from ..sim.rng import RngRegistry
+from .schedule import FaultSchedule, LinkFault, NetworkPartition, ServerCrash
+
+__all__ = ["NetworkFaults", "FaultInjector"]
+
+
+class NetworkFaults:
+    """The live fault state consulted by :class:`repro.sim.network.Network`.
+
+    Implements the duck-typed filter protocol documented in
+    :mod:`repro.sim.network`: ``hop_penalty_ms`` for process-style hops
+    (raises :class:`DeliveryError` when unreachable), and
+    ``message_penalty_ms`` for fire-and-forget messages (returns ``None``
+    to drop).  Loss draws come from a dedicated RNG stream, so lossy
+    links never perturb workload randomness.
+    """
+
+    def __init__(self, rng: Optional[Random] = None) -> None:
+        self.down: Set[str] = set()
+        self._partitions: Dict[int, Tuple[frozenset, frozenset]] = {}
+        self._links: Dict[int, LinkFault] = {}
+        self._rng = rng
+        self.hops_refused = 0
+        self.messages_lost = 0
+
+    # -- state transitions (driven by the injector) --------------------
+    def mark_down(self, name: str) -> None:
+        """Record ``name`` as crashed."""
+        self.down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        """Record ``name`` as back up."""
+        self.down.discard(name)
+
+    def add_partition(self, key: int, group_a, group_b) -> None:
+        """Activate a partition window."""
+        self._partitions[key] = (frozenset(group_a), frozenset(group_b))
+
+    def remove_partition(self, key: int) -> None:
+        """Deactivate a partition window."""
+        self._partitions.pop(key, None)
+
+    def add_link_fault(self, key: int, fault: LinkFault) -> None:
+        """Activate a degraded-link window."""
+        self._links[key] = fault
+
+    def remove_link_fault(self, key: int) -> None:
+        """Deactivate a degraded-link window."""
+        self._links.pop(key, None)
+
+    # -- the filter protocol -------------------------------------------
+    def _partitioned(self, src: str, dst: str) -> bool:
+        for group_a, group_b in self._partitions.values():
+            if (src in group_a and dst in group_b) or (
+                src in group_b and dst in group_a
+            ):
+                return True
+        return False
+
+    def _link_matches(self, fault: LinkFault, src: str, dst: str) -> bool:
+        if fault.src == src and fault.dst == dst:
+            return True
+        return fault.bidirectional and fault.src == dst and fault.dst == src
+
+    def hop_penalty_ms(self, src: str, dst: str) -> float:
+        """Extra latency for a process hop; raises when unreachable."""
+        down = self.down
+        if src in down or dst in down:
+            self.hops_refused += 1
+            victim = dst if dst in down else src
+            raise DeliveryError(f"endpoint {victim!r} is down")
+        if self._partitions and self._partitioned(src, dst):
+            self.hops_refused += 1
+            raise DeliveryError(f"network partition between {src!r} and {dst!r}")
+        extra = 0.0
+        if self._links:
+            for fault in self._links.values():
+                if self._link_matches(fault, src, dst):
+                    extra += fault.extra_latency_ms
+        return extra
+
+    def message_penalty_ms(self, src: str, dst: str) -> Optional[float]:
+        """Extra latency for a message, or ``None`` when it is lost."""
+        down = self.down
+        if src in down or dst in down:
+            self.messages_lost += 1
+            return None
+        if self._partitions and self._partitioned(src, dst):
+            self.messages_lost += 1
+            return None
+        extra = 0.0
+        if self._links:
+            for fault in self._links.values():
+                if self._link_matches(fault, src, dst):
+                    if fault.drop_rate > 0.0 and self._rng is not None:
+                        if self._rng.random() < fault.drop_rate:
+                            self.messages_lost += 1
+                            return None
+                    extra += fault.extra_latency_ms
+        return extra
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultSchedule`'s events on the simulator clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        cluster: Cluster,
+        schedule: FaultSchedule,
+        rng: Optional[RngRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.cluster = cluster
+        self.schedule = schedule
+        self.rng = rng
+        self.state: Optional[NetworkFaults] = None
+        #: ``(time_ms, description)`` log of every applied transition.
+        self.log: List[Tuple[float, str]] = []
+        self.started = False
+
+    def start(self) -> None:
+        """Install the fault filter and schedule every fault event.
+
+        A no-op for an empty schedule: the network keeps ``fault=None``
+        and the run stays byte-identical to a fault-free one.
+        """
+        if self.started:
+            return
+        self.started = True
+        if self.schedule.empty:
+            return
+        self.schedule.validate()
+        if self.rng is None and any(
+            isinstance(fault, LinkFault) and fault.drop_rate > 0.0
+            for fault in self.schedule
+        ):
+            raise ValueError(
+                "schedule contains lossy LinkFaults: pass an RngRegistry "
+                "(rng=...) so drop draws are seeded, not silently skipped"
+            )
+        drop_stream = self.rng.stream("faults/drop") if self.rng is not None else None
+        self.state = NetworkFaults(drop_stream)
+        self.network.fault = self.state
+        now = self.sim.now
+        counter = 0
+        for fault in self.schedule.ordered():
+            counter += 1
+            delay = max(0.0, fault.at_ms - now)
+            if isinstance(fault, ServerCrash):
+                self.sim.schedule(delay, self._apply_crash, fault)
+            elif isinstance(fault, NetworkPartition):
+                self.sim.schedule(delay, self._apply_partition, counter, fault)
+            else:
+                self.sim.schedule(delay, self._apply_link_fault, counter, fault)
+
+    # -- appliers -------------------------------------------------------
+    def _note(self, text: str) -> None:
+        self.log.append((self.sim.now, text))
+
+    def _apply_crash(self, fault: ServerCrash) -> None:
+        server = self.cluster.servers.get(fault.server)
+        if server is None or not server.alive:
+            self._note(f"crash of {fault.server} skipped (absent or already down)")
+            return
+        server.crash()
+        self.network.detach(fault.server)
+        self.state.mark_down(fault.server)
+        self._note(f"server {fault.server} crashed")
+        if fault.restart_after_ms is not None:
+            self.sim.schedule(fault.restart_after_ms, self._apply_restart, fault.server)
+
+    def _apply_restart(self, name: str) -> None:
+        server = self.cluster.servers.get(name)
+        if server is None or not server.crashed:
+            self._note(f"restart of {name} skipped (absent or not crashed)")
+            return
+        server.restart()
+        self.network.reattach(name)
+        self.state.mark_up(name)
+        self._note(f"server {name} restarted")
+
+    def _apply_partition(self, key: int, fault: NetworkPartition) -> None:
+        self.state.add_partition(key, fault.group_a, fault.group_b)
+        self._note(
+            f"partition {sorted(fault.group_a)} | {sorted(fault.group_b)} "
+            f"for {fault.duration_ms:.0f} ms"
+        )
+        self.sim.schedule(fault.duration_ms, self._heal_partition, key)
+
+    def _heal_partition(self, key: int) -> None:
+        self.state.remove_partition(key)
+        self._note("partition healed")
+
+    def _apply_link_fault(self, key: int, fault: LinkFault) -> None:
+        self.state.add_link_fault(key, fault)
+        self._note(
+            f"link {fault.src}->{fault.dst} degraded "
+            f"(+{fault.extra_latency_ms:.2f} ms, drop {fault.drop_rate:.0%}) "
+            f"for {fault.duration_ms:.0f} ms"
+        )
+        self.sim.schedule(fault.duration_ms, self._heal_link_fault, key)
+
+    def _heal_link_fault(self, key: int) -> None:
+        self.state.remove_link_fault(key)
+        self._note("link healed")

@@ -16,13 +16,17 @@ Run everything from the command line::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..apps.game import GameConfig, Room, build_game
 from ..apps.tpcc import TpccConfig, TpccWorkload, build_tpcc
 from ..core.costs import CostModel, DEFAULT_COSTS
+from ..core.runtime import FAILED_TAG
 from ..elasticity import CloudStorage, EManager, MigrationCoordinator, SLAPolicy
+from ..faults import FailureDetector, FaultInjector, FaultSchedule, ServerCrash
 from ..sim.cluster import INSTANCE_TYPES, M1_SMALL, M3_LARGE, Server
 from ..sim.metrics import mean
 from ..workloads.generators import ClosedLoopClients, DynamicClients, RampProfile
@@ -39,6 +43,7 @@ __all__ = [
     "table1",
     "fig8",
     "fig9",
+    "fig10",
     "ablation_chain_release",
     "ALL_EXPERIMENTS",
     "main",
@@ -60,6 +65,9 @@ class Scale:
     elastic_duration_ms: float
     migration_duration_ms: float
     emanager_batch: int
+    fault_duration_ms: float = 16000.0
+    fault_clients: int = 48
+    fault_checkpoint_ms: float = 1500.0
 
 
 SCALES: Dict[str, Scale] = {
@@ -75,6 +83,9 @@ SCALES: Dict[str, Scale] = {
         elastic_duration_ms=40000.0,
         migration_duration_ms=12000.0,
         emanager_batch=40,
+        fault_duration_ms=16000.0,
+        fault_clients=48,
+        fault_checkpoint_ms=1500.0,
     ),
     "full": Scale(
         game_duration_ms=2500.0,
@@ -88,6 +99,9 @@ SCALES: Dict[str, Scale] = {
         elastic_duration_ms=60000.0,
         migration_duration_ms=20000.0,
         emanager_batch=120,
+        fault_duration_ms=40000.0,
+        fault_clients=120,
+        fault_checkpoint_ms=2000.0,
     ),
 }
 
@@ -403,6 +417,124 @@ def fig9(scale: str = "quick", seed: int = 0) -> Dict[str, Dict[str, float]]:
 
 
 # ----------------------------------------------------------------------
+# Fig. 10 — availability through a crash/recovery timeline (beyond the
+# paper: the §5.3 machinery exercised as a recovery mechanism)
+# ----------------------------------------------------------------------
+FIG10_SYSTEMS = ("aeon", "eventwave", "orleans")
+
+#: Crash the victim at this fraction of the run, restart it this much later.
+FIG10_CRASH_FRAC = 0.35
+FIG10_RESTART_FRAC = 0.30
+FIG10_WINDOW_MS = 500.0
+
+
+def fig10_run(system: str, scale: str = "quick", seed: int = 0) -> Dict[str, object]:
+    """One availability run: game + checkpoints + a mid-run server crash.
+
+    A 6-server game deployment serves closed-loop clients while the
+    eManager checkpoints every Room subtree to cloud storage on a fixed
+    cadence and a heartbeat/lease failure detector watches the fleet.
+    At 35% of the run one server fail-stops (losing its contexts'
+    volatile state); the detector declares it dead, the eManager
+    re-places the lost contexts from their last checkpoints on the
+    survivors, and the server itself restarts — empty — later.  Clients
+    retry delivery failures (surfaced as retryable errors) twice.
+
+    Returns goodput and p99 time series (failed events excluded), the
+    crash/recovery timeline and the lost-work accounting.
+    """
+    sizing = SCALES[scale]
+    duration = sizing.fault_duration_ms
+    n_servers = 6
+    testbed = make_testbed(system, n_servers, seed=seed)
+    runtime = testbed.runtime
+    config = GameConfig(rooms=n_servers, players_per_room=4, shared_items_per_room=2)
+    app = build_game(runtime, config, system, servers=testbed.servers)
+
+    storage = CloudStorage(testbed.sim)
+    manager = EManager(runtime, storage, None, M3_LARGE, max_concurrent_migrations=8)
+    detector = FailureDetector(
+        testbed.sim,
+        testbed.network,
+        testbed.cluster,
+        heartbeat_interval_ms=200.0,
+        lease_ms=650.0,
+        check_interval_ms=100.0,
+    )
+    manager.enable_fault_tolerance(
+        detector,
+        checkpoint_interval_ms=sizing.fault_checkpoint_ms,
+        roots=[room.cid for room in app.rooms],
+        # Orleans has no global lock order: a subtree-locking snapshot
+        # deadlocks against its per-call turn locks, so it gets the
+        # per-grain (fuzzy) persistence real Orleans offers.
+        consistent_checkpoints=(system != "orleans"),
+    )
+    detector.start()
+
+    victim = testbed.servers[1].name  # hosts room-1's co-located subtree
+    crash_at = duration * FIG10_CRASH_FRAC
+    restart_after = duration * FIG10_RESTART_FRAC
+    schedule = FaultSchedule(
+        [ServerCrash(crash_at, victim, restart_after_ms=restart_after)]
+    )
+    injector = FaultInjector(
+        testbed.sim, testbed.network, testbed.cluster, schedule, rng=testbed.rng
+    )
+    injector.start()
+
+    clients = ClosedLoopClients(
+        runtime,
+        app.sample_op,
+        n_clients=sizing.fault_clients,
+        think_ms=8.0,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+        max_retries=2,
+    )
+    clients.start()
+    testbed.sim.run(until=duration + 3000.0)
+    detector.stop()
+    manager.stop()
+
+    goodput = runtime.latency.windowed_count(
+        FIG10_WINDOW_MS, duration, exclude_tag=FAILED_TAG
+    )
+    p99 = runtime.latency.windowed_percentile(
+        99.0, FIG10_WINDOW_MS, duration, exclude_tag=FAILED_TAG
+    )
+    return {
+        "system": system,
+        "duration_ms": duration,
+        "crash_at_ms": crash_at,
+        "restart_at_ms": crash_at + restart_after,
+        "victim": victim,
+        "goodput": goodput.points,
+        "p99": p99.points,
+        "events_failed": runtime.events_failed,
+        "client_errors": len(clients.errors),
+        "client_retries": clients.retries,
+        "detections": [
+            {
+                "server": d.server,
+                "detected_at_ms": d.detected_at_ms,
+                "latency_ms": d.latency_ms,
+            }
+            for d in detector.detections
+        ],
+        "recoveries": manager.recovery_log,
+        "contexts_recovered": manager.contexts_recovered,
+        "checkpoints_taken": manager.checkpoints_taken,
+        "fault_log": injector.log,
+    }
+
+
+def fig10(scale: str = "quick", seed: int = 0) -> Dict[str, Dict[str, object]]:
+    """Goodput/p99 through a crash/recovery timeline, AEON vs baselines."""
+    return {system: fig10_run(system, scale, seed) for system in FIG10_SYSTEMS}
+
+
+# ----------------------------------------------------------------------
 # Ablation — chain release on/off (beyond the paper)
 # ----------------------------------------------------------------------
 def ablation_chain_release(scale: str = "quick", seed: int = 0) -> Dict[str, float]:
@@ -464,6 +596,60 @@ def _render_table1(rows) -> str:
     )
 
 
+def fig10_phases(run: Dict[str, object]) -> Dict[str, float]:
+    """Mean goodput of one fig10 run before / during / after the outage.
+
+    ``pre`` skips the first 10% as warmup; ``outage`` spans the crash to
+    the end of recovery (or the detector lease window when no recovery
+    ran); ``post`` starts 1 s after recovery finished.
+    """
+    crash = float(run["crash_at_ms"])
+    duration = float(run["duration_ms"])
+    recovery_end = crash
+    for entry in run["recoveries"]:
+        finished = entry.get("finished_ms")
+        if finished is not None and finished > recovery_end:
+            recovery_end = finished
+    if recovery_end <= crash:
+        recovery_end = crash + 1500.0
+    goodput = run["goodput"]
+    pre = [v for t, v in goodput if duration * 0.1 <= t < crash]
+    outage = [v for t, v in goodput if crash <= t < recovery_end]
+    post = [v for t, v in goodput if recovery_end + 1000.0 <= t < duration]
+    return {
+        "pre": mean(pre),
+        "outage": mean(outage),
+        "post": mean(post),
+        "recovery_end_ms": recovery_end,
+    }
+
+
+def _render_fig10(data) -> str:
+    rows = []
+    for system, run in data.items():
+        phases = fig10_phases(run)
+        detections = run["detections"]
+        detect_ms = mean(
+            [d["latency_ms"] for d in detections if d["latency_ms"] is not None]
+        )
+        rows.append(
+            [
+                system,
+                round(phases["pre"], 1),
+                round(phases["outage"], 1),
+                round(phases["post"], 1),
+                round(detect_ms, 1),
+                run["contexts_recovered"],
+                run["events_failed"],
+            ]
+        )
+    return format_table(
+        "Fig 10 — goodput through a crash/recovery timeline (events/s)",
+        ["system", "pre-crash", "outage", "recovered", "detect ms", "ctx restored", "failed"],
+        rows,
+    )
+
+
 def _render_fig9(data) -> str:
     rows = [
         [itype, round(sizes["1KB"], 1), round(sizes["1MB"], 1)]
@@ -485,23 +671,56 @@ ALL_EXPERIMENTS: Dict[str, Callable] = {
     "table1": table1,
     "fig8": fig8,
     "fig9": fig9,
+    "fig10": fig10,
     "ablation": ablation_chain_release,
 }
 
 
+def _jsonable(value: Any) -> Any:
+    """Recursively convert experiment results to JSON-encodable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point: run and print selected experiments."""
+    """CLI entry point: run, print and optionally dump selected experiments."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--figure", choices=sorted(ALL_EXPERIMENTS), default=None)
     parser.add_argument("--all", action="store_true")
     parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the figure data (machine-readable) to this file",
+    )
     args = parser.parse_args(argv)
     chosen = sorted(ALL_EXPERIMENTS) if args.all else [args.figure or "fig5a"]
+    results: Dict[str, Any] = {}
     for name in chosen:
         data = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        results[name] = data
         print(render(name, data))
         print()
+    if args.json:
+        payload = {
+            "scale": args.scale,
+            "seed": args.seed,
+            "experiments": _jsonable(results),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -537,6 +756,8 @@ def render(name: str, data) -> str:
         return "\n".join(lines)
     if name == "fig9":
         return _render_fig9(data)
+    if name == "fig10":
+        return _render_fig10(data)
     if name == "ablation":
         return format_table(
             "Ablation — chain release (TPC-C, AEON_SO, 4 servers)",

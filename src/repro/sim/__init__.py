@@ -25,7 +25,7 @@ from .metrics import (
     mean,
     percentile,
 )
-from .network import LatencyModel, Message, Network
+from .network import DeliveryError, LatencyModel, Message, Network
 from .queues import Notifier, Resource, Store
 from .rng import RngRegistry
 
@@ -33,6 +33,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Cluster",
+    "DeliveryError",
     "InstanceType",
     "INSTANCE_TYPES",
     "LatencyModel",

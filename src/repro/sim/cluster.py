@@ -71,6 +71,10 @@ class Server:
         self.mailbox: Store = Store(sim, name=f"mbox:{name}")
         self.context_count = 0
         self.alive = True
+        # Fail-stop state (driven by repro.faults.FaultInjector).
+        self.crashed = False
+        self.crashed_at_ms: Optional[float] = None
+        self.crash_count = 0
         self._util_mark_busy = 0.0
         self._util_mark_time = 0.0
 
@@ -87,6 +91,28 @@ class Server:
         hottest path in the repository.
         """
         return self.cpu.use(self.itype.cpu_ms(work_ms))
+
+    # ------------------------------------------------------------------
+    # Fail-stop faults
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop the server: volatile state is lost until restart.
+
+        The machine object (and the contexts the runtime still maps to
+        it) stay around so a recovery manager can enumerate what was
+        lost; the injector additionally detaches the mailbox from the
+        network so nothing is delivered here while down.
+        """
+        self.alive = False
+        self.crashed = True
+        self.crashed_at_ms = self.sim.now
+        self.crash_count += 1
+
+    def restart(self) -> None:
+        """Bring a crashed server back up (empty — contexts were re-placed)."""
+        self.alive = True
+        self.crashed = False
+        self.crashed_at_ms = None
 
     # ------------------------------------------------------------------
     # Utilization reporting (consumed by the eManager)
@@ -148,6 +174,25 @@ class Cluster:
         """Remove a (drained) server from the cluster."""
         server = self.servers.pop(name)
         server.alive = False
+
+    def crash_server(self, name: str) -> Server:
+        """Fail-stop a server's *machine state* (it stays listed, for recovery).
+
+        This flips only the cluster-side flags.  A full fail-stop also
+        detaches the mailbox and marks the endpoint down on the network
+        fault filter — :class:`repro.faults.FaultInjector` does all
+        three; use it (with a :class:`~repro.faults.ServerCrash` event)
+        unless you are testing the cluster layer in isolation.
+        """
+        server = self.servers[name]
+        server.crash()
+        return server
+
+    def restart_server(self, name: str) -> Server:
+        """Restart a previously crashed server (cluster-side flags only)."""
+        server = self.servers[name]
+        server.restart()
+        return server
 
     def alive_servers(self) -> Dict[str, Server]:
         """Servers currently booted and usable."""

@@ -178,20 +178,90 @@ class LatencyRecorder:
 
     def windowed_mean(self, window_ms: float, horizon_ms: float) -> "TimeSeries":
         """Mean latency per ``window_ms`` bucket over [0, horizon)."""
+        buckets = self._window_buckets(window_ms, horizon_ms, None)
+        points = [
+            ((index + 0.5) * window_ms, mean(values))
+            for index, values in sorted(buckets.items())
+        ]
+        return TimeSeries(points)
+
+    def _window_buckets(
+        self, window_ms: float, horizon_ms: float, exclude_tag: Optional[str]
+    ) -> Dict[int, List[float]]:
+        """Latencies bucketed by completion window, optionally minus a tag."""
         buckets: Dict[int, List[float]] = {}
-        starts, ends = self._starts, self._ends
+        starts, ends, tags = self._starts, self._ends, self._tags
         for i in range(len(ends)):
             end = ends[i]
             if end >= horizon_ms:
                 if self._monotonic:
                     break
                 continue
+            if exclude_tag is not None and tags[i] == exclude_tag:
+                continue
             buckets.setdefault(int(end // window_ms), []).append(end - starts[i])
-        points = [
-            ((index + 0.5) * window_ms, mean(values))
-            for index, values in sorted(buckets.items())
-        ]
+        return buckets
+
+    def _windowed_series(
+        self,
+        window_ms: float,
+        horizon_ms: float,
+        exclude_tag: Optional[str],
+        aggregate,
+    ) -> "TimeSeries":
+        """One point per window over [0, horizon): ``aggregate(values, span_s)``.
+
+        Every bucket appears — ``aggregate`` receives ``None`` for empty
+        windows — so outage gaps show as explicit points.
+        """
+        buckets = self._window_buckets(window_ms, horizon_ms, exclude_tag)
+        points: List[Tuple[float, float]] = []
+        index = 0
+        start = 0.0
+        while start < horizon_ms:
+            end = min(start + window_ms, horizon_ms)
+            value = aggregate(buckets.get(index), (end - start) / 1000.0)
+            points.append(((start + end) / 2.0, value))
+            index += 1
+            start = end
         return TimeSeries(points)
+
+    def windowed_count(
+        self,
+        window_ms: float,
+        horizon_ms: float,
+        exclude_tag: Optional[str] = None,
+    ) -> "TimeSeries":
+        """Completions/second per bucket over [0, horizon), minus a tag.
+
+        Empty buckets report 0.0, so outage windows show as explicit
+        zeros — with ``exclude_tag="!failed"`` this is the *goodput*
+        series of the availability experiments.
+        """
+
+        def rate(values: Optional[List[float]], span_s: float) -> float:
+            if not values or span_s <= 0:
+                return 0.0
+            return len(values) / span_s
+
+        return self._windowed_series(window_ms, horizon_ms, exclude_tag, rate)
+
+    def windowed_percentile(
+        self,
+        pct: float,
+        window_ms: float,
+        horizon_ms: float,
+        exclude_tag: Optional[str] = None,
+    ) -> "TimeSeries":
+        """Latency percentile per bucket over [0, horizon), minus a tag.
+
+        Empty buckets report 0.0 (nothing completed in the window).
+        """
+
+        def bucket_pct(values: Optional[List[float]], _span_s: float) -> float:
+            return percentile(values, pct) if values else 0.0
+
+        return self._windowed_series(window_ms, horizon_ms, exclude_tag, bucket_pct)
 
 
 class ThroughputRecorder:

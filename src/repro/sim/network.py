@@ -11,6 +11,24 @@ to the runtimes built on top:
 * **Bandwidth serialization per sender** — large transfers (context
   migrations) queue on the sender's egress link, which is what bounds the
   eManager migration throughput in Fig. 9.
+
+Fault injection (:mod:`repro.faults`) plugs in through two hooks kept
+deliberately cheap when unused:
+
+* ``fault`` — an optional filter object consulted on every transmission.
+  It is duck typed: ``hop_penalty_ms(src, dst)`` returns extra latency
+  for a process-style hop or raises :class:`DeliveryError` when the pair
+  is unreachable (endpoint down, network partition);
+  ``message_penalty_ms(src, dst)`` returns extra latency for a fire-and-
+  forget message or ``None`` to drop it.  Process hops model TCP-like
+  protocol channels (loss shows up as latency or hard failure), messages
+  model UDP-like traffic (heartbeats) that is silently lost.
+* ``detach``/``reattach`` — take an endpoint's mailbox off the fabric
+  without forgetting its registration (a crashed server that may
+  restart), unlike :meth:`Network.unregister`.
+
+With no fault filter installed every code path is byte-identical to the
+fault-free transport.
 """
 
 from __future__ import annotations
@@ -22,7 +40,19 @@ from .cluster import InstanceType
 from .kernel import Signal, Simulator
 from .queues import Store
 
-__all__ = ["Message", "Network", "LatencyModel"]
+__all__ = ["Message", "Network", "LatencyModel", "DeliveryError"]
+
+
+class DeliveryError(Exception):
+    """A message could not reach its destination (crash or partition).
+
+    Raised synchronously by :meth:`Network.delay_ms` /
+    :meth:`Network.delay_signal` when an installed fault filter reports
+    the (src, dst) pair unreachable.  Marked ``retryable``: the failure
+    is transient — callers (clients) may resubmit once the fault heals.
+    """
+
+    retryable = True
 
 
 @dataclass(frozen=True)
@@ -79,6 +109,12 @@ class Network:
         self._default_ms_per_byte = _ms_per_byte(default_gbps)
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
+        #: Optional fault filter (see module docstring); installed by
+        #: :class:`repro.faults.FaultInjector`, None in fault-free runs.
+        self.fault: Optional[Any] = None
+        # Mailboxes of detached (crashed-but-restartable) endpoints.
+        self._detached: Dict[str, Store] = {}
 
     def _egress_record(self, src: str) -> list:
         record = self._egress.get(src)
@@ -110,6 +146,24 @@ class Network:
         """Remove an endpoint (e.g. a decommissioned server)."""
         self._mailboxes.pop(name, None)
         self._egress.pop(name, None)
+        self._detached.pop(name, None)
+
+    def detach(self, name: str) -> None:
+        """Take a crashed endpoint off the fabric, keeping its registration.
+
+        Messages in flight to it are silently lost; new ``send``s are
+        dropped by the fault filter (which tracks down endpoints); the
+        mailbox is restored by :meth:`reattach` on restart.
+        """
+        box = self._mailboxes.pop(name, None)
+        if box is not None:
+            self._detached[name] = box
+
+    def reattach(self, name: str) -> None:
+        """Put a restarted endpoint's mailbox back on the fabric."""
+        box = self._detached.pop(name, None)
+        if box is not None and name not in self._mailboxes:
+            self._mailboxes[name] = box
 
     def mailbox(self, name: str) -> Store:
         """The mailbox of a registered endpoint."""
@@ -136,24 +190,39 @@ class Network:
         clamped to preserve per-(src, dst) FIFO order.  Unknown
         destinations raise ``KeyError`` immediately (the caller — e.g.
         a client with a stale context map — handles redirection at a
-        higher layer).
+        higher layer); detached (crashed) destinations and fault-filter
+        drops lose the message silently, like UDP — the sender still
+        pays egress, and the ghost's delivery time still advances the
+        per-pair FIFO marker so later messages cannot overtake it.
         """
-        if dst not in self._mailboxes:
+        dropped = dst in self._detached
+        if not dropped and dst not in self._mailboxes:
             raise KeyError(f"unknown endpoint {dst!r}")
+        extra = 0.0
+        fault = self.fault
+        if fault is not None and not dropped:
+            penalty = fault.message_penalty_ms(src, dst)
+            if penalty is None:
+                dropped = True
+            else:
+                extra = penalty
         now = self.sim.now
         record = self._egress_record(src)
         free = record[1]
         finish = (now if now > free else free) + size_bytes * record[0]
         record[1] = finish
-        deliver_at = finish + self.latency.latency_ms(src, dst)
+        deliver_at = finish + self.latency.latency_ms(src, dst) + extra
         last_by_dst = record[2]
         last = last_by_dst.get(dst, 0.0)
         if deliver_at < last:
             deliver_at = last
         last_by_dst[dst] = deliver_at
-        message = Message(src, dst, payload, size_bytes, now)
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        if dropped:
+            self.messages_dropped += 1
+            return
+        message = Message(src, dst, payload, size_bytes, now)
 
         def deliver() -> None:
             box = self._mailboxes.get(dst)
@@ -172,8 +241,14 @@ class Network:
         servers — the kernel resumes them directly, no signal needed.
         Shares the egress link and per-pair FIFO bookkeeping with
         :meth:`send`, so in-flight ordering between the two styles
-        stays consistent.
+        stays consistent.  With a fault filter installed, an unreachable
+        pair raises :class:`DeliveryError` (before any egress state is
+        touched) and a degraded link adds its latency penalty.
         """
+        extra = 0.0
+        fault = self.fault
+        if fault is not None:
+            extra = fault.hop_penalty_ms(src, dst)  # raises DeliveryError
         now = self.sim.now
         record = self._egress.get(src)
         if record is None:
@@ -183,11 +258,11 @@ class Network:
         record[1] = finish
         latency = self.latency
         if type(latency) is LatencyModel:  # open-coded default model
-            deliver_at = finish + (
+            deliver_at = finish + extra + (
                 latency.same_host_ms if src == dst else latency.lan_ms
             )
         else:
-            deliver_at = finish + latency.latency_ms(src, dst)
+            deliver_at = finish + extra + latency.latency_ms(src, dst)
         last_by_dst = record[2]
         last = last_by_dst.get(dst, 0.0)
         if deliver_at < last:

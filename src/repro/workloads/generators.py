@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Callable, Generator, List, Optional, Tuple
 
+from ..core.errors import is_retryable
 from ..core.events import CallSpec
 from ..core.runtime import RuntimeBase
 from ..sim.rng import RngRegistry
@@ -39,6 +40,8 @@ class ClosedLoopClients:
         rng: Optional[RngRegistry] = None,
         stop_at_ms: Optional[float] = None,
         name_prefix: str = "client",
+        max_retries: int = 0,
+        retry_backoff_ms: float = 4.0,
     ) -> None:
         if n_clients < 1:
             raise ValueError("need at least one client")
@@ -49,7 +52,14 @@ class ClosedLoopClients:
         self.rng = rng or RngRegistry(0)
         self.stop_at_ms = stop_at_ms
         self.name_prefix = name_prefix
+        #: Resubmissions allowed per operation when it fails with a
+        #: *retryable* error (delivery failures during a crash or
+        #: partition).  0 (the default) keeps the fault-free behaviour —
+        #: and the fault-free RNG streams — exactly as before.
+        self.max_retries = max_retries
+        self.retry_backoff_ms = retry_backoff_ms
         self.submitted = 0
+        self.retries = 0
         self.errors: List[BaseException] = []
 
     def start(self) -> None:
@@ -69,12 +79,32 @@ class ClosedLoopClients:
         stop_at = self.stop_at_ms
         think_rate = 1.0 / self.think_ms if self.think_ms > 0 else None
         expovariate = stream.expovariate
+        max_retries = self.max_retries
+        backoff_rate = 1.0 / self.retry_backoff_ms if self.retry_backoff_ms > 0 else None
         while stop_at is None or sim.now < stop_at:
             spec, tag = sampler(stream)
             self.submitted += 1
             event = yield submit(handle, spec, tag=tag)
             if event is not None and event.error is not None:
                 self.errors.append(event.error)
+                # Retryable failures (the target's server crashed or was
+                # partitioned away mid-event) are resubmitted after a
+                # short backoff, up to the per-op budget.
+                attempts = 0
+                while (
+                    attempts < max_retries
+                    and event is not None
+                    and event.error is not None
+                    and is_retryable(event.error)
+                    and (stop_at is None or sim.now < stop_at)
+                ):
+                    attempts += 1
+                    self.retries += 1
+                    if backoff_rate is not None:
+                        yield stream.expovariate(backoff_rate)
+                    event = yield submit(handle, spec, tag=tag)
+                    if event is not None and event.error is not None:
+                        self.errors.append(event.error)
             if think_rate is not None:
                 yield expovariate(think_rate)
 

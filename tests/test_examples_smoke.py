@@ -1,0 +1,51 @@
+"""Smoke tests: every ``examples/*.py`` runs in-process at a tiny scale.
+
+The examples are documentation that executes; these tests keep them from
+silently rotting as the library evolves.  Heavy examples expose scale
+parameters on ``main()`` precisely so this suite can finish in seconds.
+"""
+
+import pathlib
+import sys
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+if str(EXAMPLES_DIR) not in sys.path:
+    sys.path.insert(0, str(EXAMPLES_DIR))
+
+import elastic_game  # noqa: E402
+import migration_snapshot  # noqa: E402
+import quickstart  # noqa: E402
+import tpcc_comparison  # noqa: E402
+
+
+def test_all_examples_are_covered():
+    scripts = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {"quickstart", "migration_snapshot", "elastic_game", "tpcc_comparison"}
+    assert scripts == covered, f"add a smoke test for: {scripts - covered}"
+
+
+def test_quickstart_runs(capsys):
+    quickstart.main()
+    out = capsys.readouterr().out
+    assert "strictly serializable" in out
+
+
+def test_migration_snapshot_runs(capsys):
+    migration_snapshot.main()
+    out = capsys.readouterr().out
+    assert "snapshot is consistent" in out
+
+
+def test_elastic_game_runs_tiny(capsys):
+    elastic_game.main(duration_ms=2500.0, n_servers=2, rooms=4, machines=2)
+    out = capsys.readouterr().out
+    assert "requests:" in out
+
+
+def test_tpcc_comparison_runs_tiny(capsys):
+    tpcc_comparison.main(
+        systems=("aeon", "orleans_star"), duration_ms=1500.0,
+        warmup_ms=500.0, n_clients=8,
+    )
+    out = capsys.readouterr().out
+    assert "aeon" in out and "orleans_star" in out

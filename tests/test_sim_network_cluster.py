@@ -195,3 +195,109 @@ def test_decommission_removes_server():
     cluster.decommission("gone")
     assert "gone" not in cluster.servers
     assert len(cluster) == 0
+
+
+# ----------------------------------------------------------------------
+# Edge cases: zero-byte payloads, self-send, FIFO under fault filters
+# ----------------------------------------------------------------------
+def test_zero_byte_payload_pays_propagation_only():
+    sim = Simulator()
+    net = Network(sim, latency=LatencyModel(lan_ms=0.4, same_host_ms=0.02))
+    net.register("a")
+    net.register("b")
+    assert net.delay_ms("a", "b", size_bytes=0) == pytest.approx(0.4)
+    assert net.bytes_sent == 0 and net.messages_sent == 1
+
+
+def test_self_send_uses_same_host_latency():
+    sim = Simulator()
+    net = Network(sim, latency=LatencyModel(lan_ms=0.4, same_host_ms=0.02))
+    box = net.register("a")
+    assert net.delay_ms("a", "a", size_bytes=0) == pytest.approx(0.02)
+    net.send("a", "a", "loop", size_bytes=0)
+    sim.run()
+    assert [m.payload for m in box.items] == ["loop"]
+    assert sim.now == pytest.approx(0.02)
+
+
+def test_fifo_preserved_when_delay_filter_heals_mid_stream():
+    """A latency spike must not let later messages overtake earlier ones."""
+    from repro.faults import NetworkFaults
+    from repro.faults.schedule import LinkFault
+
+    sim = Simulator()
+    net = Network(sim, latency=LatencyModel(lan_ms=0.25))
+    box = net.register("dst")
+    net.register("src")
+    state = NetworkFaults()
+    net.fault = state
+    state.add_link_fault(1, LinkFault(0.0, 1e9, "src", "dst", extra_latency_ms=50.0))
+    net.send("src", "dst", "slow", size_bytes=0)  # would arrive at ~50.25
+    state.remove_link_fault(1)  # spike ends immediately
+    net.send("src", "dst", "fast", size_bytes=0)  # raw delivery ~0.25, clamped
+    sim.run()
+    assert [m.payload for m in box.items] == ["slow", "fast"]
+    assert [m.sent_at_ms for m in box.items] == [0.0, 0.0]
+
+
+def test_fifo_preserved_across_dropped_messages():
+    """A drop consumes the ghost's slot: survivors never arrive earlier."""
+    from repro.faults import NetworkFaults
+    from repro.faults.schedule import LinkFault
+
+    sim = Simulator()
+    net = Network(sim, latency=LatencyModel(lan_ms=0.25))
+    box = net.register("dst")
+    net.register("src")
+    state = NetworkFaults()
+    net.fault = state
+    state.add_link_fault(
+        1, LinkFault(0.0, 1e9, "src", "dst", extra_latency_ms=10.0, drop_rate=0.0)
+    )
+    net.send("src", "dst", "first", size_bytes=0)  # delivered at ~10.25
+
+    class DropAll:  # drops every message it is asked about
+        def message_penalty_ms(self, src, dst):
+            return None
+
+    net.fault = DropAll()
+    net.send("src", "dst", "ghost", size_bytes=0)
+    net.fault = None
+    net.send("src", "dst", "third", size_bytes=0)  # clamped behind the ghost
+    sim.run()
+    assert [m.payload for m in box.items] == ["first", "third"]
+    assert net.messages_dropped == 1
+    # The third message was clamped to the ghost's (spiked) slot, not 0.25.
+    assert sim.now == pytest.approx(10.25)
+
+
+def test_delay_ms_fifo_shared_with_send_under_filter():
+    from repro.faults import NetworkFaults
+    from repro.faults.schedule import LinkFault
+
+    sim = Simulator()
+    net = Network(sim, latency=LatencyModel(lan_ms=0.25))
+    net.register("dst")
+    net.register("src")
+    state = NetworkFaults()
+    net.fault = state
+    state.add_link_fault(1, LinkFault(0.0, 1e9, "src", "dst", extra_latency_ms=5.0))
+    first = net.delay_ms("src", "dst", size_bytes=0)
+    state.remove_link_fault(1)
+    second = net.delay_ms("src", "dst", size_bytes=0)
+    assert first == pytest.approx(5.25)
+    assert second == pytest.approx(5.25)  # clamped: FIFO per pair
+
+
+def test_crash_and_restart_server_helpers():
+    sim = Simulator()
+    cluster = Cluster(sim)
+    cluster.add_server(M1_SMALL, "x")
+    sim.run(until=12.0)
+    server = cluster.crash_server("x")
+    assert not server.alive and server.crashed
+    assert server.crashed_at_ms == pytest.approx(12.0)
+    assert cluster.alive_servers() == {}
+    cluster.restart_server("x")
+    assert server.alive and not server.crashed and server.crashed_at_ms is None
+    assert set(cluster.alive_servers()) == {"x"}
