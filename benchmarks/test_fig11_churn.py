@@ -1,0 +1,41 @@
+"""Fig. 11 — availability SLO under sustained crash/restart churn."""
+
+from repro.harness.experiments import fig11, render
+
+
+def test_fig11_availability_under_churn(once):
+    data = once(fig11, scale="quick")
+    print("\n" + render("fig11", data))
+    aeon = data["systems"]["aeon"]
+
+    # The churn actually happened and was detected + recovered from.
+    assert aeon["crashes"] >= 3, "churn schedule too quiet to stress anything"
+    assert aeon["detections"] >= aeon["crashes"] * 0.5
+    assert aeon["recoveries"] >= 3
+    assert aeon["contexts_recovered"] > 0
+    # Detection stays within lease + check interval (650 + 100 ms + slack).
+    assert 0.0 < aeon["mean_detection_latency_ms"] <= 1200.0
+
+    # AEON meets the availability SLO across the whole churn horizon:
+    # ≥90% of windows keep ≥85% of fault-free goodput at bounded p99.
+    assert aeon["slo"]["availability_pct"] >= 90.0, aeon["slo"]
+    # Push-invalidation actually fired (the detector-driven redirection).
+    assert aeon["cache_invalidations"] > 0
+
+    # Every system sustained majority availability under the same churn.
+    for system, run in data["systems"].items():
+        assert run["slo"]["availability_pct"] >= 60.0, (
+            f"{system}: availability collapsed under churn"
+        )
+
+    # Incremental checkpoints cut checkpoint bytes written by >= 50% on
+    # the identical (skewed-traffic) churn scenario.
+    delta_bytes = aeon["checkpoint_bytes_written"]
+    full_bytes = data["aeon_full"]["checkpoint_bytes_written"]
+    assert full_bytes > 0
+    assert delta_bytes <= 0.5 * full_bytes, (
+        f"delta checkpoints saved too little: {delta_bytes} vs {full_bytes}"
+    )
+    # Delta mode also skipped unchanged intervals outright.
+    assert aeon["checkpoints_skipped"] > 0
+    assert data["aeon_full"]["checkpoints_skipped"] == 0

@@ -25,6 +25,7 @@ variant        shared-item access                              runtime
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from random import Random
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -270,10 +271,38 @@ class GameApp:
     rooms: List[ContextRef] = field(default_factory=list)
     players: List[List[ContextRef]] = field(default_factory=list)
     room_servers: List[Server] = field(default_factory=list)
+    #: Cumulative room-pick distribution; None = uniform (the default,
+    #: which keeps historical draw sequences byte-identical).  Set via
+    #: :meth:`set_room_weights` for skewed-traffic experiments.
+    _room_cdf: Optional[List[float]] = None
+
+    def set_room_weights(self, weights: Sequence[float]) -> None:
+        """Skew client traffic across rooms (fig11's hot/cold mix).
+
+        ``weights[i]`` is room *i*'s relative share of client ops; they
+        need not sum to one.  Costs one ``rng.random()`` draw per op in
+        place of the uniform ``rng.randrange`` draw.
+        """
+        if len(weights) != len(self.rooms):
+            raise ValueError(
+                f"need one weight per room ({len(self.rooms)}), got {len(weights)}"
+            )
+        total = float(sum(weights))
+        if total <= 0 or any(w < 0 for w in weights):
+            raise ValueError("room weights must be non-negative with a positive sum")
+        cdf, acc = [], 0.0
+        for weight in weights:
+            acc += weight / total
+            cdf.append(acc)
+        cdf[-1] = 1.0  # guard against float drift
+        self._room_cdf = cdf
 
     def sample_op(self, rng: Random) -> Tuple[CallSpec, str]:
         """Draw one client operation ``(spec, tag)`` from the mix."""
-        room_idx = rng.randrange(len(self.rooms))
+        if self._room_cdf is None:
+            room_idx = rng.randrange(len(self.rooms))
+        else:
+            room_idx = bisect.bisect_left(self._room_cdf, rng.random())
         player_idx = rng.randrange(len(self.players[room_idx]))
         player = self.players[room_idx][player_idx]
         room = self.rooms[room_idx]

@@ -33,6 +33,7 @@ from ..core.errors import AeonError
 from ..core.events import CallSpec, Event
 from ..core.runtime import Branch, ClientHandle, RuntimeBase
 from ..sim.cluster import Server
+from ..sim.network import DeliveryError
 
 __all__ = ["OrleansRuntime", "OrleansDeadlockError"]
 
@@ -71,7 +72,15 @@ class OrleansRuntime(RuntimeBase):
         costs = self.costs
         spec = event.spec
         cached_name = client.locate(spec.target)
-        yield self.network.delay_ms(client.name, cached_name, costs.client_msg_bytes)
+        try:
+            yield self.network.delay_ms(
+                client.name, cached_name, costs.client_msg_bytes
+            )
+        except DeliveryError:
+            # Cached server unreachable: forget the entry so a retry
+            # re-resolves (see ClientHandle), then surface the failure.
+            client.forget(spec.target)
+            raise
         grain_server = self.server_of(spec.target)
         if cached_name != grain_server.name:
             stale_server = self.cluster.servers.get(cached_name)

@@ -35,6 +35,7 @@ from typing import Generator, List, Optional, Tuple
 
 from ..sim.cluster import Server
 from ..sim.kernel import Signal
+from ..sim.network import DeliveryError
 from .events import CallSpec, Event
 from .runtime import Branch, ClientHandle, RuntimeBase
 
@@ -54,7 +55,16 @@ class AeonRuntime(RuntimeBase):
         costs = self.costs
         # Client -> (cached) server hop; stale caches pay a forward hop.
         cached_name = client.locate(spec.target)
-        yield self.network.delay_ms(client.name, cached_name, costs.client_msg_bytes)
+        try:
+            yield self.network.delay_ms(
+                client.name, cached_name, costs.client_msg_bytes
+            )
+        except DeliveryError:
+            # The cached server did not answer (crash/partition): drop
+            # the entry so a retry re-resolves instead of re-failing on
+            # the same dead endpoint, then surface the failure.
+            client.forget(spec.target)
+            raise
         target_server = self.server_of(spec.target)
         if cached_name != target_server.name:
             # Stale client cache: the wrong server forwards the event.

@@ -77,28 +77,35 @@ class ClientHandle:
 
     The cache models the paper's §5.1: clients cache the most recent
     mapping and learn corrections lazily (a stale entry costs a forward
-    hop, it never costs correctness).
+    hop, it never costs correctness).  Corrections arrive three ways:
+
+    * ``learn`` — the right server answers and the client remembers it;
+    * ``forget`` — the client itself observed a delivery failure and
+      drops the entry (the next lookup re-resolves);
+    * ``invalidate_server`` — a *push* invalidation: the failure
+      detector declared the server dead (or the eManager decommissioned
+      it), so every entry pointing there is dropped at once, shortening
+      the outage tail instead of paying one failed event per entry.
     """
 
     def __init__(self, runtime: "RuntimeBase", name: str) -> None:
         self.runtime = runtime
         self.name = name
         self._cache: Dict[str, str] = {}
+        #: Cache entries dropped by push invalidations (metrics).
+        self.invalidated = 0
 
     def locate(self, cid: str) -> str:
         """Best-known server name for ``cid`` (cache, else authoritative).
 
-        A cached entry pointing at a dead (crashed or decommissioned)
-        server is discarded and re-resolved against the authoritative
-        mapping — the client equivalent of falling back to the cloud
-        mapping when the cached server stops answering.  Stale entries
-        pointing at live servers still cost the forward hop (§5.1).
+        The cache is trusted as-is — a real client cannot peek at
+        cluster ground truth.  Entries pointing at dead servers are
+        removed by push invalidation / ``forget``; entries pointing at
+        live-but-wrong servers cost the forward hop (§5.1).
         """
         cached = self._cache.get(cid)
         if cached is not None:
-            server = self.runtime.cluster.servers.get(cached)
-            if server is not None and server.alive:
-                return cached
+            return cached
         actual = self.runtime.placement[cid]
         self._cache[cid] = actual
         return actual
@@ -106,6 +113,22 @@ class ClientHandle:
     def learn(self, cid: str, server_name: str) -> None:
         """Update the cached location of ``cid``."""
         self._cache[cid] = server_name
+
+    def forget(self, cid: str) -> None:
+        """Drop the cached location of ``cid`` (observed delivery failure)."""
+        self._cache.pop(cid, None)
+
+    def invalidate_server(self, server_name: str) -> int:
+        """Drop every cached entry pointing at ``server_name``.
+
+        Returns how many entries were dropped (push-invalidation
+        accounting).
+        """
+        stale = [cid for cid, host in self._cache.items() if host == server_name]
+        for cid in stale:
+            del self._cache[cid]
+        self.invalidated += len(stale)
+        return len(stale)
 
     def submit(self, spec: CallSpec, tag: str = "") -> Signal:
         """Submit an event through this client."""
@@ -347,6 +370,20 @@ class RuntimeBase:
         if not self.network.is_registered(name):
             self.network.register(name)
         return handle
+
+    def invalidate_cached_locations(self, server_name: str) -> int:
+        """Push-invalidate every client cache entry pointing at a server.
+
+        Driven by the failure detector's declarations (via the eManager)
+        and by scale-in decommissions: instead of each client discovering
+        the stale entry one failed event at a time, the whole population
+        drops its entries at once.  Returns the number of entries
+        dropped.  Deterministic: clients are visited in sorted order.
+        """
+        total = 0
+        for name in sorted(self._clients):
+            total += self._clients[name].invalidate_server(server_name)
+        return total
 
     def submit(self, client: ClientHandle, spec: CallSpec, tag: str = "") -> Signal:
         """Submit ``spec`` as an event; returns a signal with the Event.

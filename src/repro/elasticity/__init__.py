@@ -14,12 +14,18 @@ from .policies import (
     ServerReport,
     SLAPolicy,
 )
-from .snapshot import fuzzy_snapshot, snapshot_context
+from .snapshot import (
+    DeltaCheckpointer,
+    fuzzy_snapshot,
+    read_checkpoint,
+    snapshot_context,
+)
 from .storage import CloudStorage
 
 __all__ = [
     "Action",
     "CloudStorage",
+    "DeltaCheckpointer",
     "ClusterSnapshot",
     "ElasticityPolicy",
     "EManager",
@@ -33,5 +39,6 @@ __all__ = [
     "ServerReport",
     "SLAPolicy",
     "fuzzy_snapshot",
+    "read_checkpoint",
     "snapshot_context",
 ]

@@ -34,7 +34,13 @@ from ..sim.cluster import InstanceType, Server
 from ..sim.kernel import Signal
 from ..sim.metrics import TimeSeries, mean, percentile
 from .migration import MigrationCoordinator, MigrationRecord
-from .snapshot import fuzzy_snapshot, snapshot_context, subtree_members
+from .snapshot import (
+    DeltaCheckpointer,
+    fuzzy_snapshot,
+    read_checkpoint,
+    snapshot_context,
+    subtree_members,
+)
 from .policies import (
     Action,
     ClusterSnapshot,
@@ -83,14 +89,20 @@ class EManager:
         # and crash recovery driven by a failure detector.
         self.checkpoint_interval_ms: Optional[float] = None
         self.checkpoints_taken = 0
+        self.checkpoints_skipped = 0
         self.contexts_recovered = 0
         self.contexts_restored_without_checkpoint = 0
         self.recoveries = 0
         self.false_detections = 0
+        #: Client location-cache entries dropped by push invalidation
+        #: (detector declarations and scale-in decommissions).
+        self.cache_invalidations = 0
         self.recovery_log: List[Dict[str, Any]] = []
         self._checkpoint_roots: List[str] = []
         self._checkpointing = False
         self._consistent_checkpoints = True
+        self._checkpoint_mode = "full"
+        self._delta_checkpointers: Dict[str, DeltaCheckpointer] = {}
         self._recovering: Dict[str, bool] = {}
         # Names currently counted as false alarms: the detector
         # re-declares a silent suspect every lease, but one partition is
@@ -129,9 +141,16 @@ class EManager:
             self.report_interval_ms,
             self.max_concurrent_migrations,
         )
+        max_walled_id = 0
         for key in self.storage.keys_with_prefix("migration/"):
             payload = self.storage.peek(key)
-            if not payload or payload.get("step") in (None, "done"):
+            if not payload:
+                continue
+            # Track every id the WAL has seen (resumed or not) so the
+            # successor's counter can be seeded past all of them — see
+            # MigrationCoordinator.ensure_counter_at_least.
+            max_walled_id = max(max_walled_id, int(payload.get("migration_id", 0)))
+            if payload.get("step") in (None, "done"):
                 continue
             if payload.get("kind", "migrate") != "migrate":
                 # Half-done restores are not WAL-resumed: re-wire the
@@ -151,6 +170,7 @@ class EManager:
             if instance is not None:
                 record.size_bytes = int(getattr(instance, "size_bytes", 1024))
             successor.coordinator.resume(record)
+        successor.coordinator.ensure_counter_at_least(max_walled_id)
         return successor
 
     # ------------------------------------------------------------------
@@ -161,12 +181,23 @@ class EManager:
         """Stable storage key of a subtree's rolling checkpoint."""
         return f"checkpoint/{root_cid}"
 
+    @property
+    def checkpoint_bytes_written(self) -> int:
+        """Bytes shipped to storage under ``checkpoint/`` so far.
+
+        The headline storage cost the fig11 availability experiment
+        compares between full and delta checkpoint modes.
+        """
+        return self.storage.bytes_written_for("checkpoint")
+
     def enable_fault_tolerance(
         self,
         detector: Any,
         checkpoint_interval_ms: float = 2000.0,
         roots: Optional[List[str]] = None,
         consistent_checkpoints: bool = True,
+        checkpoint_mode: str = "full",
+        max_delta_chain: int = 6,
     ) -> None:
         """Checkpoint ``roots``' subtrees periodically; recover on crashes.
 
@@ -182,15 +213,40 @@ class EManager:
         required for runtimes whose locking has no global acquisition
         order (Orleans' per-call turn locks deadlock against a
         subtree-locking snapshot).
+
+        ``checkpoint_mode`` selects what each interval uploads:
+
+        * ``"full"`` — the whole subtree every time (one rolling bundle);
+        * ``"delta"`` — a :class:`~repro.elasticity.snapshot.DeltaCheckpointer`
+          per root: contexts whose ``_aeon_version`` has not moved are
+          skipped, unchanged intervals write nothing, and after
+          ``max_delta_chain`` deltas the subtree re-bases.  Orthogonal
+          to ``consistent_checkpoints`` (capture discipline vs storage
+          layout).
         """
+        if checkpoint_mode not in ("full", "delta"):
+            raise ValueError(f"unknown checkpoint_mode {checkpoint_mode!r}")
         self.checkpoint_interval_ms = checkpoint_interval_ms
         self._consistent_checkpoints = consistent_checkpoints
+        self._checkpoint_mode = checkpoint_mode
         if roots is None:
             ownership = self.runtime.ownership
             roots = sorted(
                 cid for cid in ownership.roots() if not ownership.is_virtual(cid)
             )
         self._checkpoint_roots = list(roots)
+        if checkpoint_mode == "delta":
+            self._delta_checkpointers = {
+                root: DeltaCheckpointer(
+                    self.runtime,
+                    self.storage,
+                    root,
+                    key=self.checkpoint_key(root),
+                    consistent=consistent_checkpoints,
+                    max_chain=max_delta_chain,
+                )
+                for root in self._checkpoint_roots
+            }
         detector.on_failure(self._on_server_failure)
         on_recovery = getattr(detector, "on_recovery", None)
         if on_recovery is not None:
@@ -223,7 +279,10 @@ class EManager:
                         break
                 if not members_alive:
                     continue
-                if self._consistent_checkpoints:
+                checkpointer = self._delta_checkpointers.get(root)
+                if checkpointer is not None:
+                    done = checkpointer.checkpoint()
+                elif self._consistent_checkpoints:
                     done = snapshot_context(
                         runtime, self.storage, instance.ref,
                         key=self.checkpoint_key(root),
@@ -233,12 +292,24 @@ class EManager:
                         runtime, self.storage, root, key=self.checkpoint_key(root)
                     )
                 try:
-                    yield done
+                    outcome = yield done
                 except Exception:  # noqa: BLE001 - keep checkpointing others
                     continue
-                self.checkpoints_taken += 1
+                if outcome == "skip":
+                    self.checkpoints_skipped += 1
+                else:
+                    self.checkpoints_taken += 1
 
     def _on_server_failure(self, server_name: str) -> None:
+        # Detector-driven client redirection: push-invalidate every
+        # client cache entry pointing at the declared-dead server, so
+        # clients re-resolve instead of discovering the corpse one
+        # failed event at a time.  Re-declarations re-invalidate, which
+        # also clears entries re-cached from a not-yet-remapped
+        # authoritative mapping during the outage.
+        self.cache_invalidations += self.runtime.invalidate_cached_locations(
+            server_name
+        )
         self.runtime.sim.process(
             self._recover_server(server_name), name=f"recover-{server_name}"
         )
@@ -283,8 +354,14 @@ class EManager:
         )
         if not lost:
             return
+        # Draining servers are about to be decommissioned: restoring a
+        # context onto one would move it twice (or strand it).
         targets = sorted(
-            runtime.cluster.alive_servers().values(),
+            (
+                s
+                for s in runtime.cluster.alive_servers().values()
+                if not self._draining.get(s.name)
+            ),
             key=lambda s: (s.context_count, s.name),
         )
         if not targets:
@@ -305,16 +382,13 @@ class EManager:
                     cover[cid] = root
         bundles: Dict[str, dict] = {}
         for root in sorted(set(cover.values())):
-            # The bundle holds the WHOLE subtree's states (that is how
-            # the checkpoint wrote it), so the download is priced by the
-            # full subtree even when only part of it was lost.
-            size = sum(
-                int(getattr(runtime.instances.get(member), "size_bytes", 1024))
-                for member in subtree_members(runtime, root)
-                if member in runtime.instances
-            )
-            value = yield self.storage.read(
-                self.checkpoint_key(root), size_bytes=max(size, 64)
+            # Reassemble whatever layout the checkpointer stored: a
+            # legacy full bundle, or a base + delta chain.  Reads are
+            # priced by the *stored* bundle sizes (a full bundle ships
+            # the whole subtree even when only part of it was lost; a
+            # chain ships the base plus its deltas).
+            value = yield from read_checkpoint(
+                self.storage, self.checkpoint_key(root), base_size_bytes=None
             )
             if value:
                 bundles[root] = value
@@ -445,9 +519,14 @@ class EManager:
             elif isinstance(action, ScaleInAction):
                 yield from self._drain_and_remove(action.server)
         # Wait for this round's migrations (bounded, keeps rounds sane).
+        # A failed one surfaces on its signal; swallowing it here keeps
+        # the control loop alive (the context simply did not move).
         for signal in pending:
             if not signal.triggered:
-                yield signal
+                try:
+                    yield signal
+                except MigrationError:
+                    continue
 
     def _colocated_subtree(self, cid: str) -> List[str]:
         """``cid`` plus its descendants hosted on the same server."""
@@ -467,31 +546,59 @@ class EManager:
         self.runtime.attach_server(server)
 
     def _drain_and_remove(self, server_name: str) -> Generator:
-        """Move a server's contexts away, then decommission it."""
+        """Move a server's contexts away, then decommission it.
+
+        One failed migration (a victim concurrently moved, the chosen
+        target dying mid-drain) must not kill the control loop: failed
+        victims are skipped, the draining flag always clears, and the
+        server is decommissioned only once nothing lives on it anymore —
+        a partially drained server is retried by a later ScaleIn.
+        """
         runtime = self.runtime
         server = runtime.cluster.servers.get(server_name)
         if server is None or self._draining.get(server_name):
             return
         self._draining[server_name] = True
-        victims = [
-            cid
-            for cid, host in runtime.placement.items()
-            if host == server_name and not runtime.ownership.is_virtual(cid)
-        ]
-        targets = [
-            s
-            for s in runtime.cluster.alive_servers().values()
-            if s.name != server_name
-        ]
-        if not targets:
-            self._draining[server_name] = False
-            return
-        targets.sort(key=lambda s: (s.context_count, s.name))
-        for index, cid in enumerate(victims):
-            dst = targets[index % len(targets)]
-            done = self.coordinator.migrate(cid, dst)
-            self.migrations_started += 1
-            yield done
-        runtime.cluster.decommission(server_name)
-        runtime.network.unregister(server_name)
-        self._draining.pop(server_name, None)
+        try:
+            victims = [
+                cid
+                for cid, host in runtime.placement.items()
+                if host == server_name and not runtime.ownership.is_virtual(cid)
+            ]
+            # Never drain onto a server that is itself being drained (two
+            # concurrent ScaleIns would ping-pong contexts onto a machine
+            # about to disappear).
+            targets = [
+                s
+                for s in runtime.cluster.alive_servers().values()
+                if s.name != server_name and not self._draining.get(s.name)
+            ]
+            if not targets:
+                return
+            targets.sort(key=lambda s: (s.context_count, s.name))
+            for index, cid in enumerate(victims):
+                dst = targets[index % len(targets)]
+                try:
+                    done = self.coordinator.migrate(cid, dst)
+                except MigrationError:
+                    continue  # already moved / destination gone: skip
+                self.migrations_started += 1
+                try:
+                    yield done
+                except MigrationError:
+                    continue  # failed mid-flight: the victim stays put
+            leftovers = any(
+                host == server_name and not runtime.ownership.is_virtual(cid)
+                for cid, host in runtime.placement.items()
+            )
+            if leftovers:
+                return
+            runtime.cluster.decommission(server_name)
+            runtime.network.unregister(server_name)
+            # Push-invalidate client location caches pointing at the
+            # decommissioned endpoint (nothing will answer there again).
+            self.cache_invalidations += self.runtime.invalidate_cached_locations(
+                server_name
+            )
+        finally:
+            self._draining.pop(server_name, None)

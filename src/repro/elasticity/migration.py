@@ -142,6 +142,17 @@ class MigrationCoordinator:
         )
         return done
 
+    def ensure_counter_at_least(self, floor: int) -> None:
+        """Never allocate a migration id at or below ``floor``.
+
+        A recovering eManager calls this with the highest id its WAL has
+        seen: a fresh migration reusing a live id would collide on the
+        ``migration/{id}`` WAL key (one migration's "done" delete erases
+        another's record) and on the synthetic ``eid=-id`` events in the
+        lock machinery.
+        """
+        self._counter = max(self._counter, int(floor))
+
     def resume(self, record: MigrationRecord) -> Signal:
         """Finish an in-flight migration found in the WAL (recovery)."""
         done = self.runtime.sim.signal(name=f"migration:{record.migration_id}:resume")

@@ -31,9 +31,17 @@ class CloudStorage:
         self.write_latency_ms = write_latency_ms
         self.gbps = gbps
         self._data: Dict[str, Any] = {}
+        # Size (as charged at write time) of each durable key, so reads
+        # can be priced by what is actually stored (see :meth:`read`).
+        self._sizes: Dict[str, int] = {}
         self.reads = 0
         self.writes = 0
         self.bytes_written = 0
+        self.bytes_read = 0
+        # Bytes written per top-level key namespace ("checkpoint",
+        # "migration", "mapping", ...): the storage-cost breakdown the
+        # availability experiments report (full vs delta checkpoints).
+        self.bytes_written_by_prefix: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Asynchronous (simulated-latency) API
@@ -49,20 +57,34 @@ class CloudStorage:
 
         def apply() -> None:
             self._data[key] = value
+            self._sizes[key] = size_bytes
             self.writes += 1
             self.bytes_written += size_bytes
+            prefix = key.split("/", 1)[0]
+            self.bytes_written_by_prefix[prefix] = (
+                self.bytes_written_by_prefix.get(prefix, 0) + size_bytes
+            )
             signal.succeed(None)
 
         self.sim.schedule(delay, apply)
         return signal
 
-    def read(self, key: str, size_bytes: int = 256) -> Signal:
-        """Fetch ``key``; the signal fires with the value (or None)."""
+    def read(self, key: str, size_bytes: Optional[int] = 256) -> Signal:
+        """Fetch ``key``; the signal fires with the value (or None).
+
+        ``size_bytes=None`` prices the transfer by the size the key was
+        last written with (what a real store would actually ship) —
+        callers that cannot know a bundle's size up front, like the
+        delta-chain recovery reads, use this.
+        """
+        if size_bytes is None:
+            size_bytes = self._sizes.get(key, 64)
         signal = self.sim.signal(name=f"storage-read:{key}")
         delay = self.read_latency_ms + self._transfer_ms(size_bytes)
 
         def finish() -> None:
             self.reads += 1
+            self.bytes_read += size_bytes
             signal.succeed(self._data.get(key))
 
         self.sim.schedule(delay, finish)
@@ -74,11 +96,16 @@ class CloudStorage:
 
         def apply() -> None:
             self._data.pop(key, None)
+            self._sizes.pop(key, None)
             self.writes += 1
             signal.succeed(None)
 
         self.sim.schedule(self.write_latency_ms, apply)
         return signal
+
+    def bytes_written_for(self, prefix: str) -> int:
+        """Total bytes written under a top-level key namespace."""
+        return self.bytes_written_by_prefix.get(prefix.rstrip("/"), 0)
 
     def _transfer_ms(self, size_bytes: int) -> float:
         if self.gbps <= 0:

@@ -26,11 +26,17 @@ from ..apps.tpcc import TpccConfig, TpccWorkload, build_tpcc
 from ..core.costs import CostModel, DEFAULT_COSTS
 from ..core.runtime import FAILED_TAG
 from ..elasticity import CloudStorage, EManager, MigrationCoordinator, SLAPolicy
-from ..faults import FailureDetector, FaultInjector, FaultSchedule, ServerCrash
+from ..faults import (
+    FailureDetector,
+    FaultInjector,
+    FaultSchedule,
+    ServerCrash,
+    random_churn,
+)
 from ..sim.cluster import INSTANCE_TYPES, M1_SMALL, M3_LARGE, Server
 from ..sim.metrics import mean
 from ..workloads.generators import ClosedLoopClients, DynamicClients, RampProfile
-from ..workloads.sla import sla_report
+from ..workloads.sla import availability_slo, sla_report
 from .report import format_series, format_table
 from .runner import SYSTEMS, make_testbed, measure, run_game
 
@@ -44,6 +50,7 @@ __all__ = [
     "fig8",
     "fig9",
     "fig10",
+    "fig11",
     "ablation_chain_release",
     "ALL_EXPERIMENTS",
     "main",
@@ -68,6 +75,13 @@ class Scale:
     fault_duration_ms: float = 16000.0
     fault_clients: int = 48
     fault_checkpoint_ms: float = 1500.0
+    # fig11 (long-horizon churn availability) sizing.
+    churn_duration_ms: float = 30000.0
+    churn_clients: int = 40
+    churn_mtbf_ms: float = 3000.0
+    churn_start_ms: float = 5000.0
+    churn_checkpoint_ms: float = 1500.0
+    churn_restart_ms: Tuple[float, float] = (1500.0, 4000.0)
 
 
 SCALES: Dict[str, Scale] = {
@@ -86,6 +100,12 @@ SCALES: Dict[str, Scale] = {
         fault_duration_ms=16000.0,
         fault_clients=48,
         fault_checkpoint_ms=1500.0,
+        churn_duration_ms=30000.0,
+        churn_clients=40,
+        churn_mtbf_ms=3000.0,
+        churn_start_ms=5000.0,
+        churn_checkpoint_ms=1500.0,
+        churn_restart_ms=(1500.0, 4000.0),
     ),
     "full": Scale(
         game_duration_ms=2500.0,
@@ -102,6 +122,12 @@ SCALES: Dict[str, Scale] = {
         fault_duration_ms=40000.0,
         fault_clients=120,
         fault_checkpoint_ms=2000.0,
+        churn_duration_ms=120000.0,
+        churn_clients=96,
+        churn_mtbf_ms=12000.0,
+        churn_start_ms=10000.0,
+        churn_checkpoint_ms=2000.0,
+        churn_restart_ms=(2000.0, 8000.0),
     ),
 }
 
@@ -535,6 +561,176 @@ def fig10(scale: str = "quick", seed: int = 0) -> Dict[str, Dict[str, object]]:
 
 
 # ----------------------------------------------------------------------
+# Fig. 11 — long-horizon churn availability (beyond the paper: fig10's
+# single crash replaced by sustained crash/restart churn, scored
+# against a windowed availability SLO, with incremental checkpoints)
+# ----------------------------------------------------------------------
+FIG11_SYSTEMS = ("aeon", "eventwave", "orleans")
+FIG11_WINDOW_MS = 500.0
+
+
+def _fig11_room_weights(n_rooms: int) -> List[float]:
+    """Geometric hot/cold room skew (room 0 hottest).
+
+    Skewed write traffic is what incremental checkpoints exploit: cold
+    rooms' subtrees go unchanged between intervals and are skipped.
+    """
+    return [0.5**i for i in range(n_rooms)]
+
+
+def fig11_run(
+    system: str,
+    scale: str = "quick",
+    seed: int = 0,
+    checkpoint_mode: str = "delta",
+) -> Dict[str, object]:
+    """One long-horizon churn run: game + checkpoints + crash/restart churn.
+
+    Like :func:`fig10_run` but the single mid-run crash becomes
+    :func:`repro.faults.random_churn`: crash/restart cycles arrive for
+    the whole horizon (one server down at a time), each detected by the
+    heartbeat/lease detector and recovered by checkpoint re-placement,
+    while the detector's declarations also push-invalidate client
+    location caches.  Client traffic is skewed across rooms (see
+    :func:`_fig11_room_weights`) and checkpoints default to the
+    incremental base+delta mode.
+
+    Returns goodput/p99 series, the availability SLO score (fraction of
+    windows post-churn-start meeting goodput/p99 targets derived from
+    the pre-churn baseline), detection/recovery/lost-work accounting and
+    the checkpoint storage cost.
+    """
+    sizing = SCALES[scale]
+    duration = sizing.churn_duration_ms
+    churn_start = sizing.churn_start_ms
+    n_servers = 6
+    testbed = make_testbed(system, n_servers, seed=seed)
+    runtime = testbed.runtime
+    config = GameConfig(rooms=n_servers, players_per_room=4, shared_items_per_room=2)
+    app = build_game(runtime, config, system, servers=testbed.servers)
+    app.set_room_weights(_fig11_room_weights(n_servers))
+
+    storage = CloudStorage(testbed.sim)
+    manager = EManager(runtime, storage, None, M3_LARGE, max_concurrent_migrations=8)
+    detector = FailureDetector(
+        testbed.sim,
+        testbed.network,
+        testbed.cluster,
+        heartbeat_interval_ms=200.0,
+        lease_ms=650.0,
+        check_interval_ms=100.0,
+    )
+    manager.enable_fault_tolerance(
+        detector,
+        checkpoint_interval_ms=sizing.churn_checkpoint_ms,
+        roots=[room.cid for room in app.rooms],
+        # Orleans gets per-grain (fuzzy) persistence — see fig10_run.
+        consistent_checkpoints=(system != "orleans"),
+        checkpoint_mode=checkpoint_mode,
+    )
+    detector.start()
+
+    schedule = random_churn(
+        [server.name for server in testbed.servers],
+        duration,
+        testbed.rng,
+        mean_time_between_crashes_ms=sizing.churn_mtbf_ms,
+        restart_delay_ms=sizing.churn_restart_ms,
+        start_ms=churn_start,
+    )
+    injector = FaultInjector(
+        testbed.sim, testbed.network, testbed.cluster, schedule, rng=testbed.rng
+    )
+    injector.start()
+
+    clients = ClosedLoopClients(
+        runtime,
+        app.sample_op,
+        n_clients=sizing.churn_clients,
+        think_ms=8.0,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+        max_retries=2,
+    )
+    clients.start()
+    testbed.sim.run(until=duration + 3000.0)
+    detector.stop()
+    manager.stop()
+
+    goodput = runtime.latency.windowed_count(
+        FIG11_WINDOW_MS, duration, exclude_tag=FAILED_TAG
+    )
+    p99 = runtime.latency.windowed_percentile(
+        99.0, FIG11_WINDOW_MS, duration, exclude_tag=FAILED_TAG
+    )
+    slo = availability_slo(
+        goodput.points,
+        p99.points,
+        baseline_from_ms=churn_start * 0.3,
+        baseline_to_ms=churn_start,
+        eval_from_ms=churn_start,
+        eval_to_ms=duration,
+        # A window is available at ≥85% of fault-free goodput with p99
+        # within 3× of baseline (20 ms floor): strict enough that the
+        # detection+recovery gap after each crash shows up, loose enough
+        # that steady-state noise does not.
+        goodput_fraction=0.85,
+        p99_multiplier=3.0,
+        p99_floor_ms=20.0,
+    )
+    detect_latencies = [
+        d.latency_ms for d in detector.detections if d.latency_ms is not None
+    ]
+    return {
+        "system": system,
+        "checkpoint_mode": checkpoint_mode,
+        "duration_ms": duration,
+        "churn_start_ms": churn_start,
+        "crashes": len(schedule),
+        "goodput": goodput.points,
+        "p99": p99.points,
+        "slo": slo.as_dict(),
+        "detections": len(detector.detections),
+        "mean_detection_latency_ms": mean(detect_latencies),
+        "redeclarations": detector.redeclarations,
+        "recoveries": manager.recoveries,
+        "contexts_recovered": manager.contexts_recovered,
+        "contexts_restored_without_checkpoint": (
+            manager.contexts_restored_without_checkpoint
+        ),
+        "cache_invalidations": manager.cache_invalidations,
+        "events_failed": runtime.events_failed,
+        "client_errors": len(clients.errors),
+        "client_retries": clients.retries,
+        "checkpoints_taken": manager.checkpoints_taken,
+        "checkpoints_skipped": manager.checkpoints_skipped,
+        "checkpoint_bytes_written": manager.checkpoint_bytes_written,
+        "recovery_log": manager.recovery_log,
+        "fault_log": injector.log,
+    }
+
+
+def fig11(scale: str = "quick", seed: int = 0) -> Dict[str, object]:
+    """Availability SLO table under sustained churn, AEON vs baselines.
+
+    Every system runs with incremental (delta) checkpoints; AEON runs
+    once more with full checkpoints so the table can report the
+    checkpoint-bytes saving delta mode buys on the identical churn
+    scenario.
+    """
+    systems = {
+        system: fig11_run(system, scale, seed, checkpoint_mode="delta")
+        for system in FIG11_SYSTEMS
+    }
+    aeon_full = fig11_run("aeon", scale, seed, checkpoint_mode="full")
+    return {
+        "window_ms": FIG11_WINDOW_MS,
+        "systems": systems,
+        "aeon_full": aeon_full,
+    }
+
+
+# ----------------------------------------------------------------------
 # Ablation — chain release on/off (beyond the paper)
 # ----------------------------------------------------------------------
 def ablation_chain_release(scale: str = "quick", seed: int = 0) -> Dict[str, float]:
@@ -650,6 +846,52 @@ def _render_fig10(data) -> str:
     )
 
 
+def _render_fig11(data) -> str:
+    rows = []
+    runs = dict(data["systems"])
+    runs["aeon (full ckpt)"] = data["aeon_full"]
+    for label, run in runs.items():
+        slo = run["slo"]
+        rows.append(
+            [
+                label,
+                round(slo["availability_pct"], 1),
+                round(slo["baseline_goodput_per_s"], 1),
+                round(slo["goodput_target_per_s"], 1),
+                round(run["mean_detection_latency_ms"], 1),
+                run["contexts_recovered"],
+                run["events_failed"],
+                run["checkpoints_taken"],
+                run["checkpoints_skipped"],
+                run["checkpoint_bytes_written"],
+            ]
+        )
+    table = format_table(
+        "Fig 11 — availability SLO under crash/restart churn",
+        [
+            "system",
+            "avail %",
+            "base ev/s",
+            "target ev/s",
+            "detect ms",
+            "ctx restored",
+            "failed",
+            "ckpts",
+            "skipped",
+            "ckpt bytes",
+        ],
+        rows,
+    )
+    delta_bytes = data["systems"]["aeon"]["checkpoint_bytes_written"]
+    full_bytes = data["aeon_full"]["checkpoint_bytes_written"]
+    saving = 100.0 * (1.0 - delta_bytes / full_bytes) if full_bytes else 0.0
+    return (
+        table
+        + f"\n\ndelta checkpoints: {delta_bytes:,} bytes vs full "
+        + f"{full_bytes:,} bytes ({saving:.1f}% saved on identical churn)"
+    )
+
+
 def _render_fig9(data) -> str:
     rows = [
         [itype, round(sizes["1KB"], 1), round(sizes["1MB"], 1)]
@@ -672,6 +914,7 @@ ALL_EXPERIMENTS: Dict[str, Callable] = {
     "fig8": fig8,
     "fig9": fig9,
     "fig10": fig10,
+    "fig11": fig11,
     "ablation": ablation_chain_release,
 }
 
@@ -758,6 +1001,8 @@ def render(name: str, data) -> str:
         return _render_fig9(data)
     if name == "fig10":
         return _render_fig10(data)
+    if name == "fig11":
+        return _render_fig11(data)
     if name == "ablation":
         return format_table(
             "Ablation — chain release (TPC-C, AEON_SO, 4 servers)",

@@ -1,13 +1,15 @@
 """Workload generators and SLA accounting."""
 
 from .generators import ClosedLoopClients, DynamicClients, OpSampler, RampProfile
-from .sla import SlaReport, sla_report
+from .sla import AvailabilityReport, SlaReport, availability_slo, sla_report
 
 __all__ = [
+    "AvailabilityReport",
     "ClosedLoopClients",
     "DynamicClients",
     "OpSampler",
     "RampProfile",
     "SlaReport",
+    "availability_slo",
     "sla_report",
 ]
