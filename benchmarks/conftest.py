@@ -1,7 +1,29 @@
 """Benchmark configuration: one round per experiment (simulations are
-deterministic, variance across rounds is zero by construction)."""
+deterministic, variance across rounds is zero by construction).
+
+``--experiment-jobs N`` fans independent experiment cells out to N
+worker processes (0 = one per core); figure data — and therefore every
+assertion — is byte-identical to the serial run, only the wall-clock
+changes.  See docs/EXPERIMENTS.md.
+"""
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--experiment-jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent experiment cells "
+        "(1 = serial, 0 = one per CPU core; results are byte-identical)",
+    )
+
+
+@pytest.fixture
+def jobs(request):
+    """The ``--experiment-jobs`` value, passed to figure functions."""
+    return request.config.getoption("--experiment-jobs")
 
 
 @pytest.fixture

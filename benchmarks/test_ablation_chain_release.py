@@ -8,8 +8,8 @@ Warehouse as soon as the transaction continues downward asynchronously
 from repro.harness.experiments import ablation_chain_release, render
 
 
-def test_ablation_chain_release(once):
-    data = once(ablation_chain_release, scale="quick")
+def test_ablation_chain_release(once, jobs):
+    data = once(ablation_chain_release, scale="quick", jobs=jobs)
     print("\n" + render("ablation", data))
     # Chain release pipelines the WH -> District -> Customer chain and
     # must outperform strict hold-till-commit significantly.

@@ -3,8 +3,8 @@
 from repro.harness.experiments import fig10, fig10_phases, render
 
 
-def test_fig10_availability(once):
-    data = once(fig10, scale="quick")
+def test_fig10_availability(once, jobs):
+    data = once(fig10, scale="quick", jobs=jobs)
     print("\n" + render("fig10", data))
     for system, run in data.items():
         phases = fig10_phases(run)

@@ -3,8 +3,8 @@
 from repro.harness.experiments import fig11, render
 
 
-def test_fig11_availability_under_churn(once):
-    data = once(fig11, scale="quick")
+def test_fig11_availability_under_churn(once, jobs):
+    data = once(fig11, scale="quick", jobs=jobs)
     print("\n" + render("fig11", data))
     aeon = data["systems"]["aeon"]
 

@@ -3,8 +3,8 @@
 from repro.harness.experiments import fig5a, render
 
 
-def test_fig5a_game_scaleout(once):
-    data = once(fig5a, scale="quick")
+def test_fig5a_game_scaleout(once, jobs):
+    data = once(fig5a, scale="quick", jobs=jobs)
     print("\n" + render("fig5a", data))
     at_max = {system: curve[-1][1] for system, curve in data.items()}
     # EventWave plateaus at its root sequencer: adding servers beyond the

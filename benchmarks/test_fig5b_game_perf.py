@@ -3,8 +3,8 @@
 from repro.harness.experiments import fig5b, render
 
 
-def test_fig5b_game_performance(once):
-    data = once(fig5b, scale="quick")
+def test_fig5b_game_performance(once, jobs):
+    data = once(fig5b, scale="quick", jobs=jobs)
     print("\n" + render("fig5b", data))
     # Latency is flat at low load and explodes past saturation; AEON
     # sustains the highest throughput at bounded latency.

@@ -3,8 +3,8 @@
 from repro.harness.experiments import fig6a, render
 
 
-def test_fig6a_tpcc_scaleout(once):
-    data = once(fig6a, scale="quick")
+def test_fig6a_tpcc_scaleout(once, jobs):
+    data = once(fig6a, scale="quick", jobs=jobs)
     print("\n" + render("fig6a", data))
     at_max = {system: curve[-1][1] for system, curve in data.items()}
     # Neither EventWave nor Orleans scales (flat curves).

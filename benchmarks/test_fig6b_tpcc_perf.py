@@ -3,8 +3,8 @@
 from repro.harness.experiments import fig6b, render
 
 
-def test_fig6b_tpcc_performance(once):
-    data = once(fig6b, scale="quick")
+def test_fig6b_tpcc_performance(once, jobs):
+    data = once(fig6b, scale="quick", jobs=jobs)
     print("\n" + render("fig6b", data))
     # EventWave and Orleans saturate with few clients: their latency at
     # the end of the sweep is an order of magnitude above the start.

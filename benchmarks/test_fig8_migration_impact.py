@@ -4,8 +4,8 @@ from repro.harness.experiments import fig8, render
 from repro.sim.metrics import mean
 
 
-def test_fig8_migration_impact(once):
-    data = once(fig8, scale="quick")
+def test_fig8_migration_impact(once, jobs):
+    data = once(fig8, scale="quick", jobs=jobs)
     print("\n" + render("fig8", data))
     dips = {}
     for label, points in data.items():

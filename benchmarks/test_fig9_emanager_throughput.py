@@ -3,8 +3,8 @@
 from repro.harness.experiments import fig9, render
 
 
-def test_fig9_emanager_throughput(once):
-    data = once(fig9, scale="quick")
+def test_fig9_emanager_throughput(once, jobs):
+    data = once(fig9, scale="quick", jobs=jobs)
     print("\n" + render("fig9", data))
     # Larger instances move more contexts per second...
     assert data["m1.large"]["1KB"] > data["m1.medium"]["1KB"] > data["m1.small"]["1KB"]

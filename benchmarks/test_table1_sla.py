@@ -3,8 +3,8 @@
 from repro.harness.experiments import table1, render
 
 
-def test_table1_sla_cost(once):
-    rows = once(table1, scale="quick")
+def test_table1_sla_cost(once, jobs):
+    rows = once(table1, scale="quick", jobs=jobs)
     print("\n" + render("table1", rows))
     by_setup = {row["setup"]: row for row in rows}
     # Violations decrease monotonically with fleet size.

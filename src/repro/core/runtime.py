@@ -18,11 +18,10 @@ calls are spawned (:meth:`RuntimeBase._spawn_async`).
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple, Type
 
 from ..sim.cluster import Cluster, Server
-from ..sim.kernel import CpuCharge, Process, Signal, Simulator
+from ..sim.kernel import CpuCharge, Process, Signal, SimulationError, Simulator
 from ..sim.metrics import LatencyRecorder, ThroughputRecorder
 from ..sim.network import LatencyModel, Network
 from .analysis import StaticAnalysis
@@ -651,50 +650,116 @@ class RuntimeBase:
     def _release_branch_locks(self, event: Event, branch: Branch, at_server: Server) -> None:
         """Release a branch's locks in reverse acquisition order."""
         held = event.held
-        for cid in reversed(branch.locks):
-            if held is not None:
+        locks = branch.locks
+        if held is not None:
+            for cid in locks:
                 held.discard(cid)
-            self._schedule_release(event, cid, at_server)
+        if len(locks) == 1:
+            self._schedule_release(event, locks[0], at_server)
+        elif locks:
+            self._schedule_release_batch(event, locks[::-1], at_server)
         branch.locks = []
 
     def _release_deferred(self, event: Event) -> None:
         """Release locks deferred to commit (non-chain-release mode)."""
         deferred = event.deferred_locks
         held = event.held
+        if not deferred:
+            return
         release_from = self.server_of(event.target)
-        for cid in reversed(deferred):
-            if held is not None:
+        if held is not None:
+            for cid in deferred:
                 held.discard(cid)
-            self._schedule_release(event, cid, release_from)
+        if len(deferred) == 1:
+            self._schedule_release(event, deferred[0], release_from)
+        else:
+            self._schedule_release_batch(event, deferred[::-1], release_from)
         event.deferred_locks = []
+
+    def _release_delay(self, from_server: Server, cid: str) -> Optional[float]:
+        """One-way release-message latency to ``cid``'s lock server.
+
+        ``None`` means the context vanished mid-flight (crash/migration
+        race) and the release must run synchronously.
+        """
+        try:
+            lock_server_name = self.server_of(cid).name
+        except Exception:  # pragma: no cover - context vanished mid-flight
+            return None
+        latency = self.network.latency
+        if type(latency) is LatencyModel:  # open-coded default model
+            return (
+                latency.same_host_ms
+                if from_server.name == lock_server_name
+                else latency.lan_ms
+            )
+        return latency.latency_ms(from_server.name, lock_server_name)
+
+    def _dispatch_release(self, lock: ContextLock, delay: float, event: Event) -> None:
+        """Schedule one lock release ``delay`` ms out (0 = immediate queue)."""
+        sim = self.sim
+        if delay == 0.0:  # zero-latency model: immediate queue, not timers
+            sim.call_soon(lock.release, event)
+        else:
+            sim._sequence += 1
+            sim._timers.push(
+                (sim.now + delay, sim._sequence, lock.release, (event,))
+            )
 
     def _schedule_release(self, event: Event, cid: str, from_server: Server) -> None:
         """Release ``cid`` after the release message's one-way latency."""
         lock = self.locks.get(cid)
         if lock is None:
             lock = self.lock_of(cid)
-        try:
-            lock_server_name = self.server_of(cid).name
-        except Exception:  # pragma: no cover - context vanished mid-flight
+        delay = self._release_delay(from_server, cid)
+        if delay is None:  # pragma: no cover - context vanished mid-flight
             lock.release(event)
             return
-        latency = self.network.latency
-        if type(latency) is LatencyModel:  # open-coded default model
-            delay = (
-                latency.same_host_ms
-                if from_server.name == lock_server_name
-                else latency.lan_ms
-            )
-        else:
-            delay = latency.latency_ms(from_server.name, lock_server_name)
+        self._dispatch_release(lock, delay, event)
+
+    def _schedule_release_batch(
+        self, event: Event, cids: List[str], from_server: Server
+    ) -> None:
+        """Schedule several same-timestamp lock releases, batched.
+
+        All releases issued by one closing branch (or a commit) share the
+        current timestamp; releases whose messages have the same one-way
+        latency land at the same instant with *consecutive* sequence
+        numbers, so the dispatch loop would run them back to back with
+        nothing in between.  Batching them into a single queue entry per
+        distinct latency preserves that exact order while paying one
+        timer push (and one dispatch) per group instead of per lock.
+        """
         sim = self.sim
-        if delay == 0.0:  # zero-latency model: immediate queue, not heap
-            sim.call_soon(lock.release, event)
-        else:
-            sim._sequence += 1
-            heappush(
-                sim._heap, (sim.now + delay, sim._sequence, lock.release, (event,))
-            )
+        groups: Dict[float, List[ContextLock]] = {}
+        for cid in cids:
+            lock = self.locks.get(cid)
+            if lock is None:
+                lock = self.lock_of(cid)
+            delay = self._release_delay(from_server, cid)
+            if delay is None:  # pragma: no cover - context vanished mid-flight
+                lock.release(event)
+                continue
+            group = groups.get(delay)
+            if group is None:
+                groups[delay] = [lock]
+            else:
+                group.append(lock)
+        for delay, locks in groups.items():
+            if len(locks) == 1:
+                self._dispatch_release(locks[0], delay, event)
+            elif delay == 0.0:
+                sim.call_soon(_release_lock_batch, sim, locks, event)
+            else:
+                sim._sequence += 1
+                sim._timers.push(
+                    (
+                        sim.now + delay,
+                        sim._sequence,
+                        _release_lock_batch,
+                        (sim, locks, event),
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Protocol-specific hooks
@@ -778,3 +843,20 @@ class _EventProcess(Process):
 
 def _is_generator(value: Any) -> bool:
     return hasattr(value, "send") and hasattr(value, "throw")
+
+
+def _release_lock_batch(sim: Simulator, locks: List[ContextLock], event: Event) -> None:
+    """Dispatch-loop callback running a batch of same-timestamp releases.
+
+    The batch replaces what would have been one queue entry per lock
+    with consecutive sequence numbers — nothing could have interleaved
+    between them, so running them back to back here is order-identical.
+    Under a ``max_steps`` budget the elided dispatches are still
+    accounted, keeping step parity with the unbatched kernel.
+    """
+    for lock in locks:
+        lock.release(event)
+    if sim._max_steps is not None:
+        sim._step_count += len(locks) - 1
+        if sim._step_count > sim._max_steps:
+            raise SimulationError(f"exceeded max_steps={sim._max_steps}")

@@ -45,7 +45,17 @@ class Detection:
 
 
 class FailureDetector:
-    """Lease-based failure detector endpoint on the network fabric."""
+    """Lease-based failure detector endpoint on the network fabric.
+
+    Servers heartbeat every ``heartbeat_interval_ms`` over the *real*
+    simulated network; a server whose lease (``lease_ms``) expires is
+    declared dead on the next check, recorded as a
+    :class:`Detection` (with crash-to-declaration latency) and pushed to
+    subscribers — the eManager's recovery hook and client location-cache
+    invalidation.  Call :meth:`start` after construction and
+    :meth:`stop` when the run ends.  See docs/EXPERIMENTS.md § fig10 and
+    docs/ARCHITECTURE.md § layer map.
+    """
 
     def __init__(
         self,

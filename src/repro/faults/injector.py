@@ -125,7 +125,14 @@ class NetworkFaults:
 
 
 class FaultInjector:
-    """Schedules a :class:`FaultSchedule`'s events on the simulator clock."""
+    """Schedules a :class:`FaultSchedule`'s events on the simulator clock.
+
+    Args: the testbed's ``sim``/``network``/``cluster``, the ``schedule``
+    to apply, and an optional ``rng`` registry for faults that draw
+    randomness (loss).  Call :meth:`start` once before ``sim.run``;
+    applied transitions land in :attr:`log`.  Used by ``fig10``/``fig11``
+    — see docs/EXPERIMENTS.md and docs/ARCHITECTURE.md § layer map.
+    """
 
     def __init__(
         self,

@@ -97,7 +97,14 @@ FaultEvent = Union[ServerCrash, NetworkPartition, LinkFault]
 
 @dataclass
 class FaultSchedule:
-    """An ordered plan of fault events for one run."""
+    """An ordered plan of fault events for one run.
+
+    Data, not behaviour: build one (or generate it with
+    :func:`random_churn`), hand it to a
+    :class:`~repro.faults.FaultInjector`, call ``injector.start()``.
+    An empty schedule installs nothing and keeps traces byte-identical
+    to a fault-free run.  See docs/ARCHITECTURE.md § layer map.
+    """
 
     faults: List[FaultEvent] = field(default_factory=list)
 
@@ -162,7 +169,9 @@ def random_churn(
     one server is down at a time (the next crash is drawn after the
     previous restart), so the cluster never loses quorum entirely.  All
     draws come from the registry's ``"faults/churn"`` stream — existing
-    experiment randomness is untouched.
+    experiment randomness is untouched.  Returns the generated
+    :class:`FaultSchedule`.  Drives ``fig11`` — see docs/EXPERIMENTS.md
+    § fig11.
     """
     if not servers:
         raise ValueError("random_churn needs at least one server name")

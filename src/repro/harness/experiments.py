@@ -1,16 +1,23 @@
 """Drivers regenerating every table and figure of the paper's §6.
 
-Each ``figNx``/``tableN`` function runs the corresponding experiment and
-returns plain data (dicts/lists) plus renders a text table via
-:mod:`repro.harness.report`.  ``scale`` selects sizing:
+Each ``figNx``/``tableN`` function enumerates its experiment grid as
+independent :class:`~repro.harness.runner.Cell`\\ s, executes them via
+:func:`~repro.harness.runner.run_cells` (serially, or across worker
+processes with ``jobs > 1`` — figure data is byte-identical either
+way), and assembles plain data (dicts/lists) that
+:func:`render` turns into a text table.  ``scale`` selects sizing:
 
 * ``"quick"`` — benchmark-friendly (seconds per system);
-* ``"full"``  — the EXPERIMENTS.md numbers (minutes per figure).
+* ``"full"``  — the docs/EXPERIMENTS.md numbers (minutes per figure).
 
 Run everything from the command line::
 
     python -m repro.harness.experiments --figure fig5a --scale quick
+    python -m repro.harness.experiments --all --scale quick --jobs 4
     python -m repro.harness.experiments --all --scale full
+
+Per-figure reference (knobs, expected wall-clock, how to read each
+table): docs/EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -38,7 +45,10 @@ from ..sim.metrics import mean
 from ..workloads.generators import ClosedLoopClients, DynamicClients, RampProfile
 from ..workloads.sla import availability_slo, sla_report
 from .report import format_series, format_table
-from .runner import SYSTEMS, make_testbed, measure, run_game
+from .runner import Cell, SYSTEMS, make_testbed, measure, run_cells, run_game
+
+#: Dotted-path prefix for this module's cell bodies (see Cell.fn).
+_EXP = "repro.harness.experiments"
 
 __all__ = [
     "fig5a",
@@ -169,94 +179,175 @@ def _tpcc_run(
 # ----------------------------------------------------------------------
 # Fig. 5a — game scale-out
 # ----------------------------------------------------------------------
-def fig5a(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[int, float]]]:
-    """Game throughput vs number of servers, all five systems."""
+def _fig5a_cell(system: str, n_servers: int, scale: str, seed: int) -> float:
+    """One fig5a grid point: game throughput at ``n_servers``."""
     sizing = SCALES[scale]
-    curves: Dict[str, List[Tuple[int, float]]] = {}
-    for system in SYSTEMS:
-        curve = []
-        for n_servers in sizing.server_counts:
-            result, _tb, _app = run_game(
-                system,
-                n_servers,
-                n_clients=sizing.game_clients_per_server * n_servers,
-                duration_ms=sizing.game_duration_ms,
-                warmup_ms=sizing.game_warmup_ms,
-                think_ms=2.0,
-                seed=seed,
-            )
-            curve.append((n_servers, result.throughput_per_s))
-        curves[system] = curve
+    result, _tb, _app = run_game(
+        system,
+        n_servers,
+        n_clients=sizing.game_clients_per_server * n_servers,
+        duration_ms=sizing.game_duration_ms,
+        warmup_ms=sizing.game_warmup_ms,
+        think_ms=2.0,
+        seed=seed,
+    )
+    return result.throughput_per_s
+
+
+def fig5a(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Game throughput vs number of servers, all five systems.
+
+    Args: ``scale`` sizing preset, ``seed`` RNG seed, ``jobs`` worker
+    processes (1 = serial, 0 = one per core).  Returns
+    ``{system: [(n_servers, events_per_s), ...]}``.  Reference:
+    docs/EXPERIMENTS.md § fig5a.
+    """
+    sizing = SCALES[scale]
+    cells = [
+        Cell(
+            (system, n_servers),
+            f"{_EXP}:_fig5a_cell",
+            dict(system=system, n_servers=n_servers, scale=scale, seed=seed),
+        )
+        for system in SYSTEMS
+        for n_servers in sizing.server_counts
+    ]
+    curves: Dict[str, List[Tuple[int, float]]] = {system: [] for system in SYSTEMS}
+    for cell, result in zip(cells, run_cells(cells, jobs)):
+        curves[cell.key[0]].append((cell.key[1], result.value))
     return curves
 
 
 # ----------------------------------------------------------------------
 # Fig. 5b — game latency vs throughput at 8 servers
 # ----------------------------------------------------------------------
-def fig5b(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[float, float]]]:
-    """Game (throughput, mean latency) pairs over a client sweep."""
+def _fig5b_cell(
+    system: str, n_clients: int, scale: str, seed: int
+) -> Tuple[float, float]:
+    """One fig5b sweep point: (throughput, mean latency) at ``n_clients``."""
     sizing = SCALES[scale]
-    curves: Dict[str, List[Tuple[float, float]]] = {}
-    for system in SYSTEMS:
-        points = []
-        for n_clients in sizing.client_sweep:
-            result, _tb, _app = run_game(
-                system,
-                8,
-                n_clients=n_clients,
-                duration_ms=sizing.game_duration_ms,
-                warmup_ms=sizing.game_warmup_ms,
-                think_ms=2.0,
-                seed=seed,
-            )
-            points.append((result.throughput_per_s, result.mean_latency_ms))
-        curves[system] = points
+    result, _tb, _app = run_game(
+        system,
+        8,
+        n_clients=n_clients,
+        duration_ms=sizing.game_duration_ms,
+        warmup_ms=sizing.game_warmup_ms,
+        think_ms=2.0,
+        seed=seed,
+    )
+    return (result.throughput_per_s, result.mean_latency_ms)
+
+
+def fig5b(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Game (throughput, mean latency) pairs over a client sweep.
+
+    Args/parallelism as :func:`fig5a`.  Returns ``{system:
+    [(events_per_s, mean_latency_ms), ...]}`` in sweep order.
+    Reference: docs/EXPERIMENTS.md § fig5b.
+    """
+    sizing = SCALES[scale]
+    cells = [
+        Cell(
+            (system, n_clients),
+            f"{_EXP}:_fig5b_cell",
+            dict(system=system, n_clients=n_clients, scale=scale, seed=seed),
+        )
+        for system in SYSTEMS
+        for n_clients in sizing.client_sweep
+    ]
+    curves: Dict[str, List[Tuple[float, float]]] = {system: [] for system in SYSTEMS}
+    for cell, result in zip(cells, run_cells(cells, jobs)):
+        curves[cell.key[0]].append(result.value)
     return curves
 
 
 # ----------------------------------------------------------------------
 # Fig. 6a — TPC-C scale-out
 # ----------------------------------------------------------------------
-def fig6a(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[int, float]]]:
-    """TPC-C throughput vs number of servers (one district each)."""
+def _fig6a_cell(system: str, n_servers: int, scale: str, seed: int) -> float:
+    """One fig6a grid point: TPC-C throughput at ``n_servers``."""
     sizing = SCALES[scale]
-    curves: Dict[str, List[Tuple[int, float]]] = {}
-    for system in SYSTEMS:
-        curve = []
-        for n_servers in sizing.server_counts:
-            result, _tb, _dep = _tpcc_run(
-                system,
-                n_servers,
-                n_clients=sizing.tpcc_clients_per_server * n_servers,
-                duration_ms=sizing.tpcc_duration_ms,
-                warmup_ms=sizing.tpcc_warmup_ms,
-                seed=seed,
-            )
-            curve.append((n_servers, result.throughput_per_s))
-        curves[system] = curve
+    result, _tb, _dep = _tpcc_run(
+        system,
+        n_servers,
+        n_clients=sizing.tpcc_clients_per_server * n_servers,
+        duration_ms=sizing.tpcc_duration_ms,
+        warmup_ms=sizing.tpcc_warmup_ms,
+        seed=seed,
+    )
+    return result.throughput_per_s
+
+
+def fig6a(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> Dict[str, List[Tuple[int, float]]]:
+    """TPC-C throughput vs number of servers (one district each).
+
+    Args/parallelism as :func:`fig5a`.  Returns ``{system:
+    [(n_servers, txns_per_s), ...]}``.  Reference: docs/EXPERIMENTS.md
+    § fig6a.
+    """
+    sizing = SCALES[scale]
+    cells = [
+        Cell(
+            (system, n_servers),
+            f"{_EXP}:_fig6a_cell",
+            dict(system=system, n_servers=n_servers, scale=scale, seed=seed),
+        )
+        for system in SYSTEMS
+        for n_servers in sizing.server_counts
+    ]
+    curves: Dict[str, List[Tuple[int, float]]] = {system: [] for system in SYSTEMS}
+    for cell, result in zip(cells, run_cells(cells, jobs)):
+        curves[cell.key[0]].append((cell.key[1], result.value))
     return curves
 
 
 # ----------------------------------------------------------------------
 # Fig. 6b — TPC-C latency vs throughput at 8 servers
 # ----------------------------------------------------------------------
-def fig6b(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[float, float]]]:
-    """TPC-C (throughput, mean latency) pairs over a client sweep."""
+def _fig6b_cell(
+    system: str, n_clients: int, scale: str, seed: int
+) -> Tuple[float, float]:
+    """One fig6b sweep point: (throughput, mean latency) at ``n_clients``."""
     sizing = SCALES[scale]
-    curves: Dict[str, List[Tuple[float, float]]] = {}
-    for system in SYSTEMS:
-        points = []
-        for n_clients in sizing.client_sweep:
-            result, _tb, _dep = _tpcc_run(
-                system,
-                8,
-                n_clients=n_clients,
-                duration_ms=sizing.tpcc_duration_ms,
-                warmup_ms=sizing.tpcc_warmup_ms,
-                seed=seed,
-            )
-            points.append((result.throughput_per_s, result.mean_latency_ms))
-        curves[system] = points
+    result, _tb, _dep = _tpcc_run(
+        system,
+        8,
+        n_clients=n_clients,
+        duration_ms=sizing.tpcc_duration_ms,
+        warmup_ms=sizing.tpcc_warmup_ms,
+        seed=seed,
+    )
+    return (result.throughput_per_s, result.mean_latency_ms)
+
+
+def fig6b(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> Dict[str, List[Tuple[float, float]]]:
+    """TPC-C (throughput, mean latency) pairs over a client sweep.
+
+    Args/parallelism as :func:`fig5a`.  Returns ``{system:
+    [(txns_per_s, mean_latency_ms), ...]}`` in sweep order.  Reference:
+    docs/EXPERIMENTS.md § fig6b.
+    """
+    sizing = SCALES[scale]
+    cells = [
+        Cell(
+            (system, n_clients),
+            f"{_EXP}:_fig6b_cell",
+            dict(system=system, n_clients=n_clients, scale=scale, seed=seed),
+        )
+        for system in SYSTEMS
+        for n_clients in sizing.client_sweep
+    ]
+    curves: Dict[str, List[Tuple[float, float]]] = {system: [] for system in SYSTEMS}
+    for cell, result in zip(cells, run_cells(cells, jobs)):
+        curves[cell.key[0]].append(result.value)
     return curves
 
 
@@ -326,18 +417,47 @@ def _elastic_game_run(
     }
 
 
-def fig7(scale: str = "quick", seed: int = 0) -> Dict[str, Dict[str, object]]:
-    """Latency and server-count time series: elastic vs static setups."""
-    setups = ["elastic", "8", "16", "32"]
-    return {setup: _elastic_game_run(setup, scale, seed) for setup in setups}
+def _elastic_cells(setups: Tuple[str, ...], scale: str, seed: int) -> List[Cell]:
+    """One :func:`_elastic_game_run` cell per setup."""
+    return [
+        Cell(
+            (setup,),
+            f"{_EXP}:_elastic_game_run",
+            dict(setup=setup, scale=scale, seed=seed),
+        )
+        for setup in setups
+    ]
 
 
-def table1(scale: str = "quick", seed: int = 0) -> List[Dict[str, object]]:
-    """SLA violation percentage and average servers per setup."""
+def fig7(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> Dict[str, Dict[str, object]]:
+    """Latency and server-count time series: elastic vs static setups.
+
+    Args/parallelism as :func:`fig5a` (one cell per setup).  Returns
+    ``{setup: run}`` with latency/server/client series and the SLA
+    report.  Reference: docs/EXPERIMENTS.md § fig7.
+    """
+    cells = _elastic_cells(("elastic", "8", "16", "32"), scale, seed)
+    return {
+        cell.key[0]: result.value
+        for cell, result in zip(cells, run_cells(cells, jobs))
+    }
+
+
+def table1(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> List[Dict[str, object]]:
+    """SLA violation percentage and average servers per setup.
+
+    Args/parallelism as :func:`fig5a` (one cell per setup).  Returns a
+    row dict per setup.  Reference: docs/EXPERIMENTS.md § table1.
+    """
+    cells = _elastic_cells(("8", "16", "22", "32", "elastic"), scale, seed)
     rows = []
-    for setup in ("8", "16", "22", "32", "elastic"):
-        run = _elastic_game_run(setup, scale, seed)
-        report = run["sla"]
+    for cell, result in zip(cells, run_cells(cells, jobs)):
+        setup = cell.key[0]
+        report = result.value["sla"]
         rows.append(
             {
                 "setup": f"{setup}-server" if setup != "elastic" else "Elastic",
@@ -352,93 +472,134 @@ def table1(scale: str = "quick", seed: int = 0) -> List[Dict[str, object]]:
 # ----------------------------------------------------------------------
 # Fig. 8 — migration impact on throughput
 # ----------------------------------------------------------------------
-def fig8(scale: str = "quick", seed: int = 0) -> Dict[str, List[Tuple[float, float]]]:
-    """Throughput time series while migrating 1/8/12 of 20 Rooms."""
+def _fig8_cell(
+    n_migrations: int, scale: str, seed: int
+) -> List[Tuple[float, float]]:
+    """One fig8 run: throughput series while migrating ``n_migrations`` Rooms."""
     sizing = SCALES[scale]
     duration = sizing.migration_duration_ms
-    series: Dict[str, List[Tuple[float, float]]] = {}
-    for n_migrations in (1, 8, 12):
-        testbed = make_testbed("aeon", 20, instance_type=M1_SMALL, seed=seed)
-        config = GameConfig(rooms=20, players_per_room=4, shared_items_per_room=2)
-        app = build_game(testbed.runtime, config, "aeon", servers=testbed.servers)
-        storage = CloudStorage(testbed.sim)
-        host = Server(testbed.sim, "~emanager", M3_LARGE)
-        testbed.network.register(host.name, host.mailbox, M3_LARGE)
-        coordinator = MigrationCoordinator(testbed.runtime, storage, host)
-        clients = ClosedLoopClients(
-            testbed.runtime,
-            app.sample_op,
-            n_clients=120,
-            think_ms=10.0,
-            rng=testbed.rng,
-            stop_at_ms=duration,
+    testbed = make_testbed("aeon", 20, instance_type=M1_SMALL, seed=seed)
+    config = GameConfig(rooms=20, players_per_room=4, shared_items_per_room=2)
+    app = build_game(testbed.runtime, config, "aeon", servers=testbed.servers)
+    storage = CloudStorage(testbed.sim)
+    host = Server(testbed.sim, "~emanager", M3_LARGE)
+    testbed.network.register(host.name, host.mailbox, M3_LARGE)
+    coordinator = MigrationCoordinator(testbed.runtime, storage, host)
+    clients = ClosedLoopClients(
+        testbed.runtime,
+        app.sample_op,
+        n_clients=120,
+        think_ms=10.0,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+    )
+    clients.start()
+
+    def migrate_rooms(n=n_migrations, tb=testbed, coord=coordinator):
+        yield tb.sim.timeout(duration * 0.4)
+        handles = []
+        for i in range(n):
+            src_room = f"room-{i}"
+            dst = tb.servers[(i + 1) % len(tb.servers)]
+            if tb.runtime.placement[src_room] == dst.name:
+                dst = tb.servers[(i + 2) % len(tb.servers)]
+            handles.append(coord.migrate(src_room, dst))
+        for handle in handles:
+            yield handle
+
+    testbed.sim.process(migrate_rooms())
+    testbed.sim.run(until=duration + 5000.0)
+    window = testbed.runtime.throughput.windowed_rate(250.0, duration)
+    return window.points
+
+
+def fig8(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Throughput time series while migrating 1/8/12 of 20 Rooms.
+
+    Args/parallelism as :func:`fig5a` (one cell per migration count).
+    Returns ``{"N contexts": [(t_ms, events_per_s), ...]}``.
+    Reference: docs/EXPERIMENTS.md § fig8.
+    """
+    cells = [
+        Cell(
+            (n_migrations,),
+            f"{_EXP}:_fig8_cell",
+            dict(n_migrations=n_migrations, scale=scale, seed=seed),
         )
-        clients.start()
-
-        def migrate_rooms(n=n_migrations, tb=testbed, coord=coordinator):
-            yield tb.sim.timeout(duration * 0.4)
-            handles = []
-            for i in range(n):
-                src_room = f"room-{i}"
-                dst = tb.servers[(i + 1) % len(tb.servers)]
-                if tb.runtime.placement[src_room] == dst.name:
-                    dst = tb.servers[(i + 2) % len(tb.servers)]
-                handles.append(coord.migrate(src_room, dst))
-            for handle in handles:
-                yield handle
-
-        testbed.sim.process(migrate_rooms())
-        testbed.sim.run(until=duration + 5000.0)
-        window = testbed.runtime.throughput.windowed_rate(250.0, duration)
-        series[f"{n_migrations} contexts"] = window.points
-    return series
+        for n_migrations in (1, 8, 12)
+    ]
+    return {
+        f"{cell.key[0]} contexts": result.value
+        for cell, result in zip(cells, run_cells(cells, jobs))
+    }
 
 
 # ----------------------------------------------------------------------
 # Fig. 9 — eManager migration throughput by instance type
 # ----------------------------------------------------------------------
-def fig9(scale: str = "quick", seed: int = 0) -> Dict[str, Dict[str, float]]:
-    """Max contexts/s the eManager migrates, per instance type and size."""
+def _fig9_cell(itype_name: str, size_bytes: int, scale: str, seed: int) -> float:
+    """One fig9 grid point: eManager migration throughput (contexts/s)."""
     sizing = SCALES[scale]
     batch = sizing.emanager_batch
+    itype = INSTANCE_TYPES[itype_name]
+    testbed = make_testbed("aeon", 2, instance_type=itype, seed=seed)
+
+    class Payload(Room):
+        pass
+
+    Payload.size_bytes = size_bytes
+    refs = []
+    for i in range(batch):
+        refs.append(
+            testbed.runtime.create_context(
+                Payload, server=testbed.servers[0],
+                name=f"payload-{i}", args=(i,),
+            )
+        )
+    storage = CloudStorage(testbed.sim)
+    host = Server(testbed.sim, "~emanager", itype)
+    testbed.network.register(host.name, host.mailbox, itype)
+    coordinator = MigrationCoordinator(testbed.runtime, storage, host)
+
+    def pump():
+        window = 4  # concurrent migrations in flight
+        pending = []
+        for ref in refs:
+            pending.append(coordinator.migrate(ref.cid, testbed.servers[1]))
+            if len(pending) >= window:
+                yield pending.pop(0)
+        for handle in pending:
+            yield handle
+
+    start = testbed.sim.now
+    testbed.sim.run_process(pump())
+    elapsed_s = (testbed.sim.now - start) / 1000.0
+    return batch / elapsed_s if elapsed_s > 0 else 0.0
+
+
+def fig9(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> Dict[str, Dict[str, float]]:
+    """Max contexts/s the eManager migrates, per instance type and size.
+
+    Args/parallelism as :func:`fig5a` (one cell per instance × payload
+    size).  Returns ``{instance_type: {"1KB"|"1MB": contexts_per_s}}``.
+    Reference: docs/EXPERIMENTS.md § fig9.
+    """
+    cells = [
+        Cell(
+            (itype_name, label),
+            f"{_EXP}:_fig9_cell",
+            dict(itype_name=itype_name, size_bytes=size_bytes, scale=scale, seed=seed),
+        )
+        for itype_name in ("m1.large", "m1.medium", "m1.small")
+        for label, size_bytes in (("1KB", 1024), ("1MB", 1_000_000))
+    ]
     results: Dict[str, Dict[str, float]] = {}
-    for itype_name in ("m1.large", "m1.medium", "m1.small"):
-        itype = INSTANCE_TYPES[itype_name]
-        results[itype_name] = {}
-        for label, size_bytes in (("1KB", 1024), ("1MB", 1_000_000)):
-            testbed = make_testbed("aeon", 2, instance_type=itype, seed=seed)
-
-            class Payload(Room):
-                pass
-
-            Payload.size_bytes = size_bytes
-            refs = []
-            for i in range(batch):
-                refs.append(
-                    testbed.runtime.create_context(
-                        Payload, server=testbed.servers[0],
-                        name=f"payload-{i}", args=(i,),
-                    )
-                )
-            storage = CloudStorage(testbed.sim)
-            host = Server(testbed.sim, "~emanager", itype)
-            testbed.network.register(host.name, host.mailbox, itype)
-            coordinator = MigrationCoordinator(testbed.runtime, storage, host)
-
-            def pump():
-                window = 4  # concurrent migrations in flight
-                pending = []
-                for ref in refs:
-                    pending.append(coordinator.migrate(ref.cid, testbed.servers[1]))
-                    if len(pending) >= window:
-                        yield pending.pop(0)
-                for handle in pending:
-                    yield handle
-
-            start = testbed.sim.now
-            testbed.sim.run_process(pump())
-            elapsed_s = (testbed.sim.now - start) / 1000.0
-            results[itype_name][label] = batch / elapsed_s if elapsed_s > 0 else 0.0
+    for cell, result in zip(cells, run_cells(cells, jobs)):
+        results.setdefault(cell.key[0], {})[cell.key[1]] = result.value
     return results
 
 
@@ -555,9 +716,27 @@ def fig10_run(system: str, scale: str = "quick", seed: int = 0) -> Dict[str, obj
     }
 
 
-def fig10(scale: str = "quick", seed: int = 0) -> Dict[str, Dict[str, object]]:
-    """Goodput/p99 through a crash/recovery timeline, AEON vs baselines."""
-    return {system: fig10_run(system, scale, seed) for system in FIG10_SYSTEMS}
+def fig10(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> Dict[str, Dict[str, object]]:
+    """Goodput/p99 through a crash/recovery timeline, AEON vs baselines.
+
+    Args/parallelism as :func:`fig5a` (one :func:`fig10_run` cell per
+    system).  Returns ``{system: run}``.  Reference: docs/EXPERIMENTS.md
+    § fig10.
+    """
+    cells = [
+        Cell(
+            (system,),
+            f"{_EXP}:fig10_run",
+            dict(system=system, scale=scale, seed=seed),
+        )
+        for system in FIG10_SYSTEMS
+    ]
+    return {
+        cell.key[0]: result.value
+        for cell, result in zip(cells, run_cells(cells, jobs))
+    }
 
 
 # ----------------------------------------------------------------------
@@ -710,53 +889,90 @@ def fig11_run(
     }
 
 
-def fig11(scale: str = "quick", seed: int = 0) -> Dict[str, object]:
+def fig11(scale: str = "quick", seed: int = 0, jobs: int = 1) -> Dict[str, object]:
     """Availability SLO table under sustained churn, AEON vs baselines.
 
     Every system runs with incremental (delta) checkpoints; AEON runs
     once more with full checkpoints so the table can report the
     checkpoint-bytes saving delta mode buys on the identical churn
-    scenario.
+    scenario.  Args/parallelism as :func:`fig5a` (one
+    :func:`fig11_run` cell per system plus the aeon-full cell).
+    Reference: docs/EXPERIMENTS.md § fig11.
     """
-    systems = {
-        system: fig11_run(system, scale, seed, checkpoint_mode="delta")
+    cells = [
+        Cell(
+            (system, "delta"),
+            f"{_EXP}:fig11_run",
+            dict(system=system, scale=scale, seed=seed, checkpoint_mode="delta"),
+        )
         for system in FIG11_SYSTEMS
+    ]
+    cells.append(
+        Cell(
+            ("aeon", "full"),
+            f"{_EXP}:fig11_run",
+            dict(system="aeon", scale=scale, seed=seed, checkpoint_mode="full"),
+        )
+    )
+    results = run_cells(cells, jobs)
+    systems = {
+        cell.key[0]: result.value
+        for cell, result in zip(cells[:-1], results[:-1])
     }
-    aeon_full = fig11_run("aeon", scale, seed, checkpoint_mode="full")
     return {
         "window_ms": FIG11_WINDOW_MS,
         "systems": systems,
-        "aeon_full": aeon_full,
+        "aeon_full": results[-1].value,
     }
 
 
 # ----------------------------------------------------------------------
 # Ablation — chain release on/off (beyond the paper)
 # ----------------------------------------------------------------------
-def ablation_chain_release(scale: str = "quick", seed: int = 0) -> Dict[str, float]:
-    """TPC-C throughput with and without chain (early) release."""
+def _ablation_cell(early_release: bool, scale: str, seed: int) -> float:
+    """One ablation run: TPC-C throughput with the given release mode."""
     sizing = SCALES[scale]
-    out = {}
-    for label, early in (("chain-release", True), ("hold-till-commit", False)):
-        costs = DEFAULT_COSTS.with_(early_release=early)
-        testbed = make_testbed("aeon_so", 4, seed=seed, costs=costs)
-        config = TpccConfig(districts=4, customers_per_district=10)
-        deployment = build_tpcc(
-            testbed.runtime, config, False, servers=testbed.servers
+    costs = DEFAULT_COSTS.with_(early_release=early_release)
+    testbed = make_testbed("aeon_so", 4, seed=seed, costs=costs)
+    config = TpccConfig(districts=4, customers_per_district=10)
+    deployment = build_tpcc(
+        testbed.runtime, config, False, servers=testbed.servers
+    )
+    workload = TpccWorkload(deployment, "aeon_so")
+    clients = ClosedLoopClients(
+        testbed.runtime, workload.sample_op,
+        n_clients=sizing.tpcc_clients_per_server * 4,
+        think_ms=5.0, rng=testbed.rng,
+        stop_at_ms=sizing.tpcc_duration_ms,
+    )
+    clients.start()
+    testbed.sim.run(until=sizing.tpcc_duration_ms + 15000.0)
+    result = measure("aeon_so", testbed, clients.n_clients,
+                     sizing.tpcc_warmup_ms, sizing.tpcc_duration_ms)
+    return result.throughput_per_s
+
+
+def ablation_chain_release(
+    scale: str = "quick", seed: int = 0, jobs: int = 1
+) -> Dict[str, float]:
+    """TPC-C throughput with and without chain (early) release.
+
+    Args/parallelism as :func:`fig5a` (one cell per release mode).
+    Returns ``{"chain-release"|"hold-till-commit": txns_per_s}``.
+    Reference: docs/EXPERIMENTS.md § ablation.
+    """
+    cells = [
+        Cell(
+            (label,),
+            f"{_EXP}:_ablation_cell",
+            dict(early_release=early, scale=scale, seed=seed),
         )
-        workload = TpccWorkload(deployment, "aeon_so")
-        clients = ClosedLoopClients(
-            testbed.runtime, workload.sample_op,
-            n_clients=sizing.tpcc_clients_per_server * 4,
-            think_ms=5.0, rng=testbed.rng,
-            stop_at_ms=sizing.tpcc_duration_ms,
-        )
-        clients.start()
-        testbed.sim.run(until=sizing.tpcc_duration_ms + 15000.0)
-        result = measure("aeon_so", testbed, clients.n_clients,
-                         sizing.tpcc_warmup_ms, sizing.tpcc_duration_ms)
-        out[label] = result.throughput_per_s
-    return out
+        for label, early in (("chain-release", True), ("hold-till-commit", False))
+    ]
+    return {
+        cell.key[0]: result.value
+        for cell, result in zip(cells, run_cells(cells, jobs))
+    }
 
 
 # ----------------------------------------------------------------------
@@ -935,12 +1151,27 @@ def _jsonable(value: Any) -> Any:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point: run, print and optionally dump selected experiments."""
+    """CLI entry point: run, print and optionally dump selected experiments.
+
+    Args: ``argv`` overrides ``sys.argv[1:]`` (used by tests).  Returns
+    the process exit code.  Flags: ``--figure``/``--all`` select
+    experiments, ``--scale`` the sizing preset, ``--seed`` the RNG seed,
+    ``--jobs`` the worker-process count (1 = serial, 0 = one per core;
+    figure data is byte-identical at any level), ``--json PATH`` dumps
+    machine-readable results.  Reference: docs/EXPERIMENTS.md.
+    """
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--figure", choices=sorted(ALL_EXPERIMENTS), default=None)
     parser.add_argument("--all", action="store_true")
     parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent experiment cells "
+        "(1 = serial, 0 = one per CPU core; results are byte-identical)",
+    )
     parser.add_argument(
         "--json",
         metavar="PATH",
@@ -951,7 +1182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     chosen = sorted(ALL_EXPERIMENTS) if args.all else [args.figure or "fig5a"]
     results: Dict[str, Any] = {}
     for name in chosen:
-        data = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        data = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed, jobs=args.jobs)
         results[name] = data
         print(render(name, data))
         print()

@@ -1,16 +1,27 @@
 """Experiment runner: build a cluster + runtime + app, drive, measure.
 
-Every figure in EXPERIMENTS.md is produced through :func:`run_game` /
-:func:`run_tpcc` (plus the elasticity/migration drivers in
-:mod:`repro.harness.experiments`), so all experiments share one
-measurement discipline: fixed warmup cut, fixed measurement window,
-deterministic seeds.
+Every figure in docs/EXPERIMENTS.md is produced through
+:func:`run_game` / the drivers in :mod:`repro.harness.experiments`, so
+all experiments share one measurement discipline: fixed warmup cut,
+fixed measurement window, deterministic seeds.
+
+This module also hosts the **parallel experiment engine**: every figure
+decomposes into independent :class:`Cell`\\ s (one self-contained
+simulation each — typically one ``(system, server_count, seed)`` run),
+executed serially or across worker processes by :func:`run_cells`, and
+reassembled in cell order so the figure data is byte-identical at any
+``--jobs`` level.  See docs/ARCHITECTURE.md § Parallel experiment
+engine for why cells parallelise safely (each builds its own simulator
+and named RNG streams; nothing reads wall-clock state).
 """
 
 from __future__ import annotations
 
+import importlib
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from ..apps.game import GameApp, GameConfig, build_game
 from ..baselines import EventWaveRuntime, OrleansRuntime
@@ -30,6 +41,11 @@ __all__ = [
     "make_testbed",
     "RunResult",
     "run_game",
+    "Cell",
+    "CellResult",
+    "execute_cell",
+    "resolve_jobs",
+    "run_cells",
 ]
 
 #: The five measured systems, in the paper's legend order.
@@ -72,7 +88,14 @@ def make_testbed(
     seed: int = 0,
     record_history: bool = False,
 ) -> Testbed:
-    """Build a fresh simulated cluster running ``system``."""
+    """Build a fresh simulated cluster running ``system``.
+
+    Args: ``system`` one of :data:`SYSTEMS`, ``n_servers`` fleet size,
+    ``instance_type``/``costs`` hardware and protocol cost models,
+    ``seed`` the RNG registry seed, ``record_history`` enables the
+    serializability checker.  Returns a :class:`Testbed` whose parts
+    share one simulator.  See docs/ARCHITECTURE.md § layer map.
+    """
     sim = Simulator()
     cluster = Cluster(sim)
     network = Network(sim)
@@ -119,7 +142,14 @@ def run_game(
     seed: int = 0,
     record_history: bool = False,
 ) -> Tuple[RunResult, Testbed, GameApp]:
-    """Run the game under closed-loop load and measure steady state."""
+    """Run the game under closed-loop load and measure steady state.
+
+    Args: deployment shape (``system``/``n_servers``/``n_clients``),
+    measurement window (``duration_ms``/``warmup_ms``), per-client
+    ``think_ms``, optional ``config``/``costs`` overrides and ``seed``.
+    Returns ``(RunResult, Testbed, GameApp)``.  Used by fig5a/fig5b
+    cells — see docs/EXPERIMENTS.md.
+    """
     testbed = make_testbed(
         system, n_servers, costs=costs, seed=seed, record_history=record_history
     )
@@ -140,6 +170,86 @@ def run_game(
     return result, testbed, app
 
 
+# ----------------------------------------------------------------------
+# Parallel experiment engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of an experiment grid.
+
+    A cell is everything a worker process needs to run one
+    self-contained simulation:
+
+    * ``key`` — the cell's position in the figure assembly (e.g.
+      ``("aeon", 8)`` for a scale-out curve point).  Only used by the
+      enumerating figure function; opaque to the engine.
+    * ``fn`` — the cell body as a ``"module:function"`` dotted path,
+      resolved by :func:`execute_cell` *inside the worker*, so payloads
+      stay picklable under both fork and spawn start methods.
+    * ``kwargs`` — keyword arguments for ``fn``; must be picklable
+      builtins (strings/numbers), typically ``system``/``scale``/
+      ``seed`` knobs.
+
+    The body must be deterministic given its kwargs (fresh
+    :class:`~repro.sim.kernel.Simulator`, seeded
+    :class:`~repro.sim.rng.RngRegistry`, no wall-clock reads) and return
+    plain picklable data — that is what makes ``--jobs N`` byte-identical
+    to the serial path.  See docs/ARCHITECTURE.md § Parallel experiment
+    engine.
+    """
+
+    key: Tuple
+    fn: str
+    kwargs: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The value one :class:`Cell` produced, tagged with its key."""
+
+    key: Tuple
+    value: Any
+
+
+def execute_cell(cell: Cell) -> CellResult:
+    """Run one cell (in this process) and wrap its return value.
+
+    Resolves ``cell.fn``'s dotted ``"module:function"`` path via import,
+    so it works identically in the parent process (serial path) and in
+    pool workers (parallel path).
+    """
+    module_name, _, fn_name = cell.fn.partition(":")
+    fn = getattr(importlib.import_module(module_name), fn_name)
+    return CellResult(key=cell.key, value=fn(**cell.kwargs))
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` value: ``0`` means one per CPU core."""
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_cells(cells: Sequence[Cell], jobs: int = 1) -> List[CellResult]:
+    """Execute ``cells`` and return their results *in cell order*.
+
+    ``jobs=1`` runs serially in-process (no pool, no pickling — the
+    historical path).  ``jobs>1`` fans the cells out to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` with ``jobs``
+    workers (``jobs=0`` = one per core); each worker runs whole cells,
+    and results are reassembled in submission order, so figure data is
+    byte-identical to the serial path regardless of completion order.
+    See docs/EXPERIMENTS.md for per-figure ``--jobs`` guidance.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(cells) <= 1:
+        return [execute_cell(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        return list(pool.map(execute_cell, cells, chunksize=1))
+
+
 def measure(
     system: str,
     testbed: Testbed,
@@ -147,7 +257,12 @@ def measure(
     warmup_ms: float,
     duration_ms: float,
 ) -> RunResult:
-    """Extract steady-state metrics from a finished run."""
+    """Extract steady-state metrics from a finished run.
+
+    Counts completions and latencies in ``[warmup_ms, duration_ms)``
+    and returns a :class:`RunResult` (throughput, mean/p50/p99 latency,
+    completions).  See docs/ARCHITECTURE.md § layer map.
+    """
     runtime = testbed.runtime
     window = duration_ms - warmup_ms
     completed = runtime.throughput.count_between(warmup_ms, duration_ms)

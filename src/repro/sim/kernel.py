@@ -19,8 +19,10 @@ the paper's numbers (latencies of a few ms, SLA of 10 ms) read naturally.
 from __future__ import annotations
 
 import gc
-import heapq
+import os
+from bisect import bisect_left, insort
 from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -32,6 +34,8 @@ __all__ = [
     "AnyOf",
     "CpuCharge",
     "SimulationError",
+    "HeapTimers",
+    "CalendarTimers",
 ]
 
 
@@ -149,10 +153,46 @@ class Timeout(Signal):
         # hot path, and the delay is available as an attribute anyway.
         super().__init__(sim, name="timeout")
         self.delay = delay
-        sim.schedule(delay, self._fire, value)
+        # Open-coded sim.schedule(delay, self._fire, value): one timer
+        # is armed per timeout and the call layer is measurable.
+        sim._sequence += 1
+        if delay == 0.0:
+            sim._immediate.append((sim.now, sim._sequence, self._fire, (value,)))
+        else:
+            sim._timers.push((sim.now + delay, sim._sequence, self._fire, (value,)))
 
     def _fire(self, value: Any) -> None:
-        self.succeed(value)
+        # Open-coded succeed() — timer completion is the second most
+        # frequent operation after signal completion — plus a
+        # single-waiter inline fast path: when the simulator is idle at
+        # the fire time, the immediate-queue entry succeed() would
+        # append is the very next callback anyway, so the waiter runs
+        # now, skipping one dispatch round-trip per timeout (the
+        # accounted step keeps max_steps parity).  Multi-waiter and
+        # not-idle cases enqueue exactly like succeed(), so the executed
+        # order never changes.
+        if self._triggered:
+            raise SimulationError("signal 'timeout' completed twice")
+        self._triggered = True
+        self.value = value
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = None
+            sim = self.sim
+            immediate = sim._immediate
+            if (
+                len(callbacks) == 1
+                and not immediate
+                and ((head := sim._timers.head) is None or head[0] > sim.now)
+            ):
+                sim._count_inline_step()
+                callbacks[0](self)
+                return
+            now = sim.now
+            arg = (self,)
+            for callback in callbacks:
+                sim._sequence += 1
+                immediate.append((now, sim._sequence, callback, arg))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self._triggered else "pending"
@@ -237,6 +277,255 @@ class CpuCharge:
         self.delay = delay
 
 
+class HeapTimers:
+    """Binary-heap timer queue (the pre-calendar fallback).
+
+    Entries are ``(fire_at, seq, callback, args)`` tuples, totally
+    ordered by ``(fire_at, seq)``.  ``head`` always holds the minimum
+    entry (or ``None`` when empty) so hot-path peeks are a single
+    attribute load.  Selected with ``Simulator(timers="heap")`` or
+    ``REPRO_SIM_TIMERS=heap``; see docs/ARCHITECTURE.md § Timer queues.
+    """
+
+    __slots__ = ("_heap", "head")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self.head: Optional[Tuple[float, int, Callable, tuple]] = None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: Tuple[float, int, Callable, tuple]) -> None:
+        """Insert ``entry``; updates :attr:`head`."""
+        heap = self._heap
+        heappush(heap, entry)
+        self.head = heap[0]
+
+    def pop(self) -> Tuple[float, int, Callable, tuple]:
+        """Remove and return the minimum entry (:attr:`head`)."""
+        heap = self._heap
+        entry = heappop(heap)
+        self.head = heap[0] if heap else None
+        return entry
+
+    def cancel(self, entry: Tuple[float, int, Callable, tuple]) -> None:
+        """Remove a not-yet-fired ``entry``; raises ValueError if absent."""
+        heap = self._heap
+        heap.remove(entry)
+        heapify(heap)
+        self.head = heap[0] if heap else None
+
+
+class CalendarTimers:
+    """Calendar-queue (bucketed timer wheel) timer queue — the default.
+
+    Timers hash into buckets of ``width`` virtual milliseconds by
+    absolute bucket number ``int(fire_at / width)`` (a dict keyed by
+    bucket number, so there are no wrap-around laps and far-future
+    timers cost nothing until their bucket comes up).  Buckets are
+    *lazily sorted*: a future bucket is a plain append-list; when the
+    wheel reaches it, :meth:`_promote` sorts it once (C timsort) into
+    the *current run* ``_cur``, and pops walk that run by index — O(1)
+    per pop, O(1) per push, sort cost amortized to O(log bucket) C
+    comparisons per timer.  The executed order is exactly
+    ``(fire_at, seq)`` — bit-identical to :class:`HeapTimers`, which the
+    trace checksums in ``tests/test_determinism.py`` gate.
+
+    A push landing inside the current run (delay shorter than the rest
+    of the bucket) bisect-inserts into the unconsumed tail, so ordering
+    stays exact without heap discipline.  The bucket width re-tunes
+    (``_retune``) to ~4 mean gaps between *distinct* fire times —
+    simulated timers cluster on grids (fixed think times, constant
+    latencies), and counting duplicates would undersize buckets —
+    whenever a promoted bucket is grossly oversized or the wheel walks
+    long empty stretches.  See docs/ARCHITECTURE.md § Timer queues.
+    """
+
+    #: Empty buckets walked per promote before jumping to min(buckets).
+    SCAN_LIMIT = 32
+    #: Promoted-bucket size that triggers a width re-tune.
+    OVERSIZE = 512
+    #: Cumulative empty-bucket walks that trigger a width re-tune.
+    SCAN_DEBT = 4096
+
+    __slots__ = (
+        "_buckets",
+        "_width",
+        "_inv_width",
+        "_cur",
+        "_cur_i",
+        "_cur_key",
+        "_size",
+        "_scan_debt",
+        "_pops_since_tune",
+        "head",
+    )
+
+    def __init__(self, width: float = 1.0) -> None:
+        self._buckets: dict = {}
+        self._width = width
+        self._inv_width = 1.0 / width
+        # The current run: a sorted list consumed from index _cur_i.
+        self._cur: List[tuple] = []
+        self._cur_i = 0
+        self._cur_key = 0
+        self._size = 0
+        self._scan_debt = 0
+        self._pops_since_tune = 0
+        self.head: Optional[Tuple[float, int, Callable, tuple]] = None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, entry: Tuple[float, int, Callable, tuple]) -> None:
+        """Insert ``entry``; updates :attr:`head`.  O(1) amortized."""
+        k = int(entry[0] * self._inv_width)
+        self._size += 1
+        head = self.head
+        if head is None:
+            # Empty queue: the entry becomes the current run.
+            self._cur = [entry]
+            self._cur_i = 0
+            self._cur_key = k
+            self.head = entry
+            return
+        if k > self._cur_key:
+            bucket = self._buckets.get(k)
+            if bucket is None:
+                self._buckets[k] = [entry]
+            else:
+                bucket.append(entry)
+            return
+        # Lands inside the current run (or before it): keep the
+        # unconsumed tail sorted by bisect-inserting the entry.
+        cur = self._cur
+        i = self._cur_i
+        insort(cur, entry, i)
+        if entry < head:
+            self.head = entry
+
+    def pop(self) -> Tuple[float, int, Callable, tuple]:
+        """Remove and return the minimum entry (:attr:`head`)."""
+        entry = self.head
+        if entry is None:
+            raise IndexError("pop from empty CalendarTimers")
+        self._size -= 1
+        i = self._cur_i + 1
+        cur = self._cur
+        if i < len(cur):
+            self._cur_i = i
+            self.head = cur[i]
+        else:
+            self._promote()
+        return entry
+
+    def cancel(self, entry: Tuple[float, int, Callable, tuple]) -> None:
+        """Remove a not-yet-fired ``entry``; raises ValueError if absent."""
+        if entry is self.head:
+            self.pop()
+            return
+        k = int(entry[0] * self._inv_width)
+        if k <= self._cur_key:
+            cur = self._cur
+            i = bisect_left(cur, entry, self._cur_i)
+            if i < len(cur) and cur[i] is entry:
+                del cur[i]
+                self._size -= 1
+                return
+            raise ValueError(f"entry not queued: {entry!r}")
+        bucket = self._buckets.get(k)
+        if bucket is None:
+            raise ValueError(f"entry not queued: {entry!r}")
+        bucket.remove(entry)
+        self._size -= 1
+        if not bucket:
+            del self._buckets[k]
+
+    def _promote(self) -> None:
+        # The current run is exhausted: sort the next nonempty bucket
+        # into a fresh run.  Walks at most SCAN_LIMIT empty buckets
+        # before jumping straight to the earliest bucket number.
+        if self._size == 0:
+            self._cur = []
+            self._cur_i = 0
+            self.head = None
+            return
+        buckets = self._buckets
+        k = self._cur_key
+        bucket = None
+        for _ in range(self.SCAN_LIMIT):
+            k += 1
+            bucket = buckets.pop(k, None)
+            if bucket is not None:
+                break
+        if bucket is None:
+            self._scan_debt += self.SCAN_LIMIT
+            k = min(buckets)
+            bucket = buckets.pop(k)
+        bucket.sort()
+        self._cur = bucket
+        self._cur_i = 0
+        self._cur_key = k
+        self.head = bucket[0]
+        self._pops_since_tune += len(bucket)
+        if len(bucket) > self.OVERSIZE or self._scan_debt > self.SCAN_DEBT:
+            self._retune()
+
+    def _retune(self) -> None:
+        # Re-tune the bucket width to ~4 mean gaps between *distinct*
+        # fire times and re-bucket every future entry.  Rate-limited to
+        # once per `size` promotions so a pathological mix cannot spend
+        # its time re-bucketing.
+        if self._pops_since_tune < self._size:
+            return
+        self._pops_since_tune = 0
+        self._scan_debt = 0
+        entries = [entry for bucket in self._buckets.values() for entry in bucket]
+        entries.extend(self._cur[self._cur_i :])
+        if len(entries) < 2:
+            return
+        times = {entry[0] for entry in entries}
+        lo = min(times)
+        hi = max(times)
+        if len(times) < 2 or hi <= lo:
+            return
+        self._width = max((hi - lo) / (len(times) - 1), 1e-9) * 4.0
+        self._inv_width = 1.0 / self._width
+        inv_width = self._inv_width
+        head = self.head
+        buckets: dict = {}
+        for entry in entries:
+            if entry is head:
+                continue
+            k = int(entry[0] * inv_width)
+            bucket = buckets.get(k)
+            if bucket is None:
+                buckets[k] = [entry]
+            else:
+                bucket.append(entry)
+        # The head's own bucket must stay in the current run — _promote
+        # only ever scans *forward* from _cur_key.
+        k_head = int(head[0] * inv_width)
+        run = buckets.pop(k_head, [])
+        run.append(head)
+        run.sort()
+        self._buckets = buckets
+        self._cur = run
+        self._cur_i = 0
+        self._cur_key = k_head
+
+
+def _make_timers(mode: Optional[str]):
+    """Build the timer queue selected by ``mode`` / ``REPRO_SIM_TIMERS``."""
+    mode = mode or os.environ.get("REPRO_SIM_TIMERS", "calendar")
+    if mode == "calendar":
+        return CalendarTimers()
+    if mode == "heap":
+        return HeapTimers()
+    raise ValueError(f"unknown timer queue {mode!r}; pick 'calendar' or 'heap'")
+
+
 class Process(Signal):
     """A generator-driven simulated activity.
 
@@ -299,7 +588,7 @@ class Process(Signal):
         generator = self._generator
         send = generator.send
         immediate = sim._immediate
-        heap = sim._heap
+        timers = sim._timers
         while True:
             try:
                 if exc is not None:
@@ -331,7 +620,8 @@ class Process(Signal):
                 if not immediate:
                     fire_at = sim.now + target
                     until = sim._until
-                    if (not heap or heap[0][0] > fire_at) and (
+                    head = timers.head
+                    if (head is None or head[0] > fire_at) and (
                         until is None or fire_at <= until
                     ):
                         sim.now = fire_at
@@ -347,9 +637,8 @@ class Process(Signal):
                 if target == 0.0:
                     immediate.append((sim.now, sim._sequence, self._timer_cb, ()))
                 else:
-                    heapq.heappush(
-                        heap,
-                        (sim.now + target, sim._sequence, self._timer_cb, ()),
+                    timers.push(
+                        (sim.now + target, sim._sequence, self._timer_cb, ())
                     )
                 return
             if type(target) is CpuCharge:
@@ -369,7 +658,8 @@ class Process(Signal):
                     return
                 if resource.acquire_now():
                     self._charge_res = resource
-                    if immediate or (heap and heap[0][0] <= sim.now):
+                    head = timers.head
+                    if immediate or (head is not None and head[0] <= sim.now):
                         # Not idle: the historical triggered grant would
                         # queue one resume behind the pending callbacks;
                         # replicate it, then start the service timer.
@@ -386,7 +676,7 @@ class Process(Signal):
                     # (fast-forward included); release on fire.
                     fire_at = sim.now + delay
                     until = sim._until
-                    if (not heap or heap[0][0] > fire_at) and (
+                    if (head is None or head[0] > fire_at) and (
                         until is None or fire_at <= until
                     ):
                         sim.now = fire_at
@@ -406,9 +696,8 @@ class Process(Signal):
                             (sim.now, sim._sequence, self._charge_timer_cb, ())
                         )
                     else:
-                        heapq.heappush(
-                            heap,
-                            (sim.now + delay, sim._sequence, self._charge_timer_cb, ()),
+                        timers.push(
+                            (sim.now + delay, sim._sequence, self._charge_timer_cb, ())
                         )
                     return
                 # Contended: wait for a unit, then run the timer.  The
@@ -420,20 +709,27 @@ class Process(Signal):
                 return
             if isinstance(target, Signal):
                 # Inline idle_at_now(): this is the hottest branch.
-                if (
-                    target._triggered
-                    and not immediate
-                    and (not heap or heap[0][0] > sim.now)
-                ):
-                    value, exc = target.value, target.exc
-                    if sim._max_steps is not None:
-                        sim._step_count += 1
-                        if sim._step_count > sim._max_steps:
-                            raise SimulationError(
-                                f"exceeded max_steps={sim._max_steps}"
-                            )
-                    continue
-                target.add_callback(self._wait_cb)
+                if target._triggered:
+                    if not immediate and (
+                        (head := timers.head) is None or head[0] > sim.now
+                    ):
+                        value, exc = target.value, target.exc
+                        if sim._max_steps is not None:
+                            sim._step_count += 1
+                            if sim._step_count > sim._max_steps:
+                                raise SimulationError(
+                                    f"exceeded max_steps={sim._max_steps}"
+                                )
+                        continue
+                    sim.call_soon(self._wait_cb, target)
+                    return
+                # Open-coded target.add_callback(self._wait_cb): one
+                # registration per wait, worth skipping the call layer.
+                callbacks = target.callbacks
+                if callbacks is None:
+                    target.callbacks = [self._wait_cb]
+                else:
+                    callbacks.append(self._wait_cb)
                 return
             if target is None:
                 if sim.idle_at_now():
@@ -454,11 +750,12 @@ class Process(Signal):
         # yield branch, fast-forward included.
         sim = self.sim
         delay = self._charge_delay
-        heap = sim._heap
+        timers = sim._timers
         if not sim._immediate:
             fire_at = sim.now + delay
             until = sim._until
-            if (not heap or heap[0][0] > fire_at) and (
+            head = timers.head
+            if (head is None or head[0] > fire_at) and (
                 until is None or fire_at <= until
             ):
                 sim.now = fire_at
@@ -474,16 +771,15 @@ class Process(Signal):
         if delay == 0.0:
             sim._immediate.append((sim.now, sim._sequence, self._charge_timer_cb, ()))
         else:
-            heapq.heappush(
-                heap, (sim.now + delay, sim._sequence, self._charge_timer_cb, ())
-            )
+            timers.push((sim.now + delay, sim._sequence, self._charge_timer_cb, ()))
 
     def _charge_timer(self) -> None:
         # The service timer fired; the release runs at the (possibly
         # queued) resume — exactly where the use() generator's finally
         # block ran.
         sim = self.sim
-        if not sim._immediate and (not sim._heap or sim._heap[0][0] > sim.now):
+        head = sim._timers.head
+        if not sim._immediate and (head is None or head[0] > sim.now):
             sim._count_inline_step()
             resource, self._charge_res = self._charge_res, None
             resource.release_unit()
@@ -503,7 +799,8 @@ class Process(Signal):
         # pending at the fire time; replicate that unless idle (where
         # the queued resume would run immediately anyway).
         sim = self.sim
-        if not sim._immediate and (not sim._heap or sim._heap[0][0] > sim.now):
+        head = sim._timers.head
+        if not sim._immediate and (head is None or head[0] > sim.now):
             sim._count_inline_step()
             self._step(None, None)
         else:
@@ -523,16 +820,22 @@ class Simulator:
     traces.
 
     Zero-delay callbacks — the bulk of a protocol simulation (signal
-    completions, process resumes, same-time hops) — bypass the heap via
-    an *immediate queue*, a FIFO deque whose entries carry the same
-    ``(time, sequence)`` keys as heap entries.  The run loop merges the
-    two by key, so the executed order is identical to the heap-only
-    kernel while zero-delay scheduling costs O(1) instead of O(log n).
+    completions, process resumes, same-time hops) — bypass the timer
+    queue via an *immediate queue*, a FIFO deque whose entries carry the
+    same ``(time, sequence)`` keys as timer entries.  The run loop
+    merges the two by key, so the executed order is identical to the
+    heap-only kernel while zero-delay scheduling costs O(1).
+
+    Positive delays go to the *timer queue*: a
+    :class:`CalendarTimers` bucketed wheel by default, or the
+    :class:`HeapTimers` binary heap (``timers="heap"`` /
+    ``REPRO_SIM_TIMERS=heap``).  Both order entries exactly by
+    ``(fire_at, sequence)``, so the choice never affects a trace.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, timers: Optional[str] = None) -> None:
         self.now: float = 0.0
-        self._heap: List[Any] = []
+        self._timers = _make_timers(timers)
         self._immediate: Deque[Tuple[float, int, Callable, tuple]] = deque()
         self._sequence = 0
         self._step_count = 0
@@ -542,15 +845,40 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
-        """Run ``callback(*args)`` after ``delay`` virtual milliseconds."""
+    def schedule(
+        self, delay: float, callback: Callable, *args: Any
+    ) -> Tuple[float, int, Callable, tuple]:
+        """Run ``callback(*args)`` after ``delay`` virtual milliseconds.
+
+        Returns the queue entry, which can be passed to :meth:`cancel`
+        while it has not fired yet.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._sequence += 1
         if delay == 0.0:
-            self._immediate.append((self.now, self._sequence, callback, args))
+            entry = (self.now, self._sequence, callback, args)
+            self._immediate.append(entry)
         else:
-            heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, args))
+            entry = (self.now + delay, self._sequence, callback, args)
+            self._timers.push(entry)
+        return entry
+
+    def cancel(self, entry: Tuple[float, int, Callable, tuple]) -> None:
+        """Cancel a not-yet-fired entry returned by :meth:`schedule`.
+
+        Raises :class:`SimulationError` if the entry already fired (or
+        was cancelled before).
+        """
+        try:
+            try:
+                self._immediate.remove(entry)
+            except ValueError:
+                self._timers.cancel(entry)
+        except ValueError:
+            raise SimulationError(
+                f"cancelling an entry that already fired: {entry!r}"
+            ) from None
 
     def call_soon(self, callback: Callable, *args: Any) -> None:
         """Run ``callback(*args)`` at the current time (after pending work).
@@ -569,8 +897,8 @@ class Simulator:
         """
         if self._immediate:
             return False
-        heap = self._heap
-        return not heap or heap[0][0] > self.now
+        head = self._timers.head
+        return head is None or head[0] > self.now
 
     def _count_inline_step(self) -> None:
         """Account an inline trampoline resume as one scheduler step.
@@ -613,9 +941,8 @@ class Simulator:
         (a safety valve against accidental infinite loops).  Returns the
         final clock value.
         """
-        heap = self._heap
+        timers = self._timers
         immediate = self._immediate
-        heappop = heapq.heappop
         self._max_steps = max_steps
         self._until = until
         # The dispatch loop is an allocation storm of short-lived,
@@ -633,37 +960,48 @@ class Simulator:
         # under a max_steps budget.
         try:
             if max_steps is None and until is None:
-                while immediate or heap:
-                    if immediate and (not heap or heap[0] >= immediate[0]):
-                        entry = immediate.popleft()
+                while True:
+                    head = timers.head
+                    if immediate:
+                        if head is None or head >= immediate[0]:
+                            entry = immediate.popleft()
+                        else:
+                            entry = timers.pop()
+                    elif head is not None:
+                        entry = timers.pop()
                     else:
-                        entry = heappop(heap)
+                        break
                     self.now = entry[0]
                     entry[2](*entry[3])
             elif max_steps is None:
-                while immediate or heap:
-                    if immediate and (not heap or heap[0] >= immediate[0]):
+                while True:
+                    head = timers.head
+                    if immediate and (head is None or head >= immediate[0]):
                         entry = immediate[0]
                         if entry[0] > until:
                             self.now = until
                             return self.now
                         immediate.popleft()
-                    else:
-                        entry = heap[0]
-                        if entry[0] > until:
+                    elif head is not None:
+                        if head[0] > until:
                             self.now = until
                             return self.now
-                        heappop(heap)
+                        entry = timers.pop()
+                    else:
+                        break
                     self.now = entry[0]
                     entry[2](*entry[3])
             else:
-                while immediate or heap:
-                    if immediate and (not heap or heap[0] >= immediate[0]):
+                while True:
+                    head = timers.head
+                    if immediate and (head is None or head >= immediate[0]):
                         entry = immediate[0]
                         from_immediate = True
-                    else:
-                        entry = heap[0]
+                    elif head is not None:
+                        entry = head
                         from_immediate = False
+                    else:
+                        break
                     fire_at = entry[0]
                     if until is not None and fire_at > until:
                         self.now = until
@@ -671,7 +1009,7 @@ class Simulator:
                     if from_immediate:
                         immediate.popleft()
                     else:
-                        heappop(heap)
+                        timers.pop()
                     self.now = fire_at
                     self._step_count += 1
                     if self._step_count > max_steps:
@@ -702,5 +1040,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of callbacks still queued (heap + immediate queue)."""
-        return len(self._heap) + len(self._immediate)
+        """Number of callbacks still queued (timer queue + immediate queue)."""
+        return len(self._timers) + len(self._immediate)

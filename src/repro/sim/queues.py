@@ -164,7 +164,8 @@ class Resource:
         dispatch-loop boundary instead.
         """
         sim = self.sim
-        if sim._immediate or (sim._heap and sim._heap[0][0] <= sim.now):
+        head = sim._timers.head
+        if sim._immediate or (head is not None and head[0] <= sim.now):
             return True
         if sim._max_steps is not None:
             sim._step_count += 1

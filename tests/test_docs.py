@@ -1,0 +1,22 @@
+"""Documentation link-check as a tier-1 test (same checks CI's docs job runs).
+
+Guards the contract in docs/: no dead relative links or anchors, every
+figure mentioned in the docs exists in the CLI, and every experiment
+the CLI exposes has a reference entry in docs/EXPERIMENTS.md.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_docs_are_link_checked():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout

@@ -1,0 +1,74 @@
+"""Parallel experiment engine: ``--jobs N`` must be byte-identical to serial.
+
+Figure data is assembled from :class:`~repro.harness.runner.Cell`
+results in cell order, and each cell is a self-contained deterministic
+simulation — so fanning cells out to worker processes must reproduce
+the serial figure data *byte for byte*.  These tests JSON-serialize
+both paths and compare the strings, per the determinism contract in
+docs/ARCHITECTURE.md.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import _jsonable, fig5a, fig6a, fig9, fig11
+from repro.harness.runner import Cell, CellResult, execute_cell, resolve_jobs, run_cells
+
+
+def _dump(data) -> str:
+    return json.dumps(_jsonable(data), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics (cheap)
+# ----------------------------------------------------------------------
+def _cells(values):
+    # Pool-crossing cells must use a dotted path importable in *any*
+    # worker (fork or spawn) — a stdlib function qualifies, this test
+    # module does not.
+    return [Cell((x,), "json:dumps", {"obj": x}) for x in values]
+
+
+def test_run_cells_preserves_cell_order():
+    cells = _cells([7, 3, 5, 1])
+    for jobs in (1, 3):
+        results = run_cells(cells, jobs=jobs)
+        assert [r.key for r in results] == [(7,), (3,), (5,), (1,)]
+        assert [r.value for r in results] == ["7", "3", "5", "1"]
+
+
+def _square_cell(x):  # in-process execute_cell only: no pool, any platform
+    return x * x
+
+
+def test_execute_cell_resolves_dotted_path():
+    result = execute_cell(Cell(("k",), "test_parallel_runner:_square_cell", {"x": 6}))
+    assert result == CellResult(("k",), 36)
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(5) == 5
+    assert resolve_jobs(0) >= 1  # cpu_count
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+
+
+def test_fig9_parallel_byte_identical():
+    assert _dump(fig9(scale="quick", jobs=1)) == _dump(fig9(scale="quick", jobs=4))
+
+
+# ----------------------------------------------------------------------
+# Figure-level byte-identity (the acceptance gate; slower)
+# ----------------------------------------------------------------------
+def test_fig5a_quick_parallel_byte_identical():
+    assert _dump(fig5a(scale="quick", jobs=1)) == _dump(fig5a(scale="quick", jobs=4))
+
+
+def test_fig6a_quick_parallel_byte_identical():
+    assert _dump(fig6a(scale="quick", jobs=1)) == _dump(fig6a(scale="quick", jobs=4))
+
+
+def test_fig11_quick_parallel_byte_identical():
+    assert _dump(fig11(scale="quick", jobs=1)) == _dump(fig11(scale="quick", jobs=4))
