@@ -4,7 +4,13 @@ deterministic, variance across rounds is zero by construction).
 ``--experiment-jobs N`` fans independent experiment cells out to N
 worker processes (0 = one per core); figure data — and therefore every
 assertion — is byte-identical to the serial run, only the wall-clock
-changes.  See docs/EXPERIMENTS.md.
+changes.  ``--experiment-set KEY=VALUE`` (repeatable) forwards scenario
+overrides to the benchmarks that accept them (the ``overrides``
+fixture), e.g. shrinking the new-scenario benchmarks::
+
+    pytest benchmarks/test_new_scenarios.py --experiment-set duration_ms=9000
+
+See docs/EXPERIMENTS.md and docs/SCENARIOS.md.
 """
 
 import pytest
@@ -18,12 +24,26 @@ def pytest_addoption(parser):
         help="worker processes for independent experiment cells "
         "(1 = serial, 0 = one per CPU core; results are byte-identical)",
     )
+    parser.addoption(
+        "--experiment-set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario --set overrides forwarded to benchmarks that "
+        "accept them (repeatable)",
+    )
 
 
 @pytest.fixture
 def jobs(request):
     """The ``--experiment-jobs`` value, passed to figure functions."""
     return request.config.getoption("--experiment-jobs")
+
+
+@pytest.fixture
+def overrides(request):
+    """The ``--experiment-set`` assignments, passed to run_scenario."""
+    return request.config.getoption("--experiment-set")
 
 
 @pytest.fixture

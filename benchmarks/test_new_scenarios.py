@@ -1,0 +1,69 @@
+"""Beyond-the-paper scenarios: co-tenancy, churn sweep, diurnal elasticity.
+
+These run the three scenarios the declarative API added (none has a
+legacy ``figN()``) end to end at quick scale, asserting the qualitative
+claims each was built to show.  ``--experiment-set KEY=VALUE`` forwards
+extra spec overrides; ``--experiment-jobs`` parallelises sweep cells.
+"""
+
+from repro.harness.scenarios import get_scenario, render_scenario, run_scenario
+
+
+def test_mixed_cotenancy(once, jobs, overrides):
+    data = once(run_scenario, "mixed_cotenancy", scale="quick", jobs=jobs,
+                overrides=overrides)
+    print("\n" + render_scenario(get_scenario("mixed_cotenancy"), data))
+    for system, run in data.items():
+        # Both co-tenants make progress on every system under test.
+        assert run["game"]["completed"] > 0, f"{system}: game starved"
+        assert run["tpcc"]["completed"] > 0, f"{system}: tpcc starved"
+    # AEON's multiple ownership keeps the co-tenant game faster than the
+    # turn-locked Orleans variant under the same mixed load.
+    assert (
+        data["aeon"]["game"]["throughput_per_s"]
+        > data["orleans"]["game"]["throughput_per_s"]
+    )
+
+
+def test_churn_sweep(once, jobs, overrides):
+    data = once(run_scenario, "churn_sweep", scale="quick", jobs=jobs,
+                overrides=overrides)
+    print("\n" + render_scenario(get_scenario("churn_sweep"), data))
+    rows = data["rows"]
+    assert len(rows) >= 2, "sweep needs at least two MTBF points"
+    by_mtbf = {r["mtbf_ms"]: r for r in rows}
+    fastest, slowest = min(by_mtbf), max(by_mtbf)
+    # More churn, more crashes; availability stays ordered within noise
+    # (the calmest churn must not be the worst availability point).
+    assert by_mtbf[fastest]["crashes"] >= by_mtbf[slowest]["crashes"]
+    assert (
+        by_mtbf[slowest]["availability_pct"]
+        >= by_mtbf[fastest]["availability_pct"] - 5.0
+    )
+    for row in rows:
+        assert row["availability_pct"] > 50.0, f"collapsed at MTBF {row['mtbf_ms']}"
+
+
+def test_diurnal_elasticity(once, jobs, overrides):
+    data = once(run_scenario, "diurnal", scale="quick", jobs=jobs,
+                overrides=overrides)
+    print("\n" + render_scenario(get_scenario("diurnal"), data))
+    run = data["aeon"]
+    # The fleet actually tracked the wave: it grew beyond its floor and
+    # came back down (peak above average implies both directions moved).
+    servers = [n for _t, n in run["server_series"]]
+    assert run["peak_servers"] > min(servers)
+    assert run["avg_servers"] < run["peak_servers"]
+    # Two diurnal cycles -> the client curve has two distinct peaks.
+    targets = [n for _t, n in run["client_series"]]
+    floor = min(targets)
+    peaks = 0
+    above = False
+    threshold = floor + 0.6 * (max(targets) - floor)
+    for n in targets:
+        if not above and n >= threshold:
+            peaks += 1
+            above = True
+        elif above and n < threshold:
+            above = False
+    assert peaks >= 2, f"expected a two-peak wave, saw {peaks}"

@@ -539,7 +539,11 @@ class EManager:
             and runtime.placement.get(member) == home
         ]
         # Containers first so arriving events find the parents settled.
-        members.sort(key=lambda m: len(runtime.ownership.ancestors(m)))
+        # The cid tiebreaker makes the order *total*: descendants() is a
+        # set, and leaving same-depth members in set-iteration order
+        # made the migration order — and thus whole elastic experiments
+        # — depend on the interpreter's hash seed (PYTHONHASHSEED).
+        members.sort(key=lambda m: (len(runtime.ownership.ancestors(m)), m))
         return members
 
     def _on_booted(self, server: Server) -> None:

@@ -1,14 +1,27 @@
-"""Experiment harness: drivers for every table and figure in the paper."""
+"""Experiment harness: declarative scenarios driving every figure."""
 
 from .experiments import ALL_EXPERIMENTS, render
-from .runner import RunResult, SYSTEMS, Testbed, make_testbed, run_game
+from .runner import CellPool, RunResult, SYSTEMS, Testbed, make_testbed, run_game
+from .scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+    scenario,
+)
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "render",
+    "CellPool",
     "RunResult",
     "SYSTEMS",
     "Testbed",
     "make_testbed",
     "run_game",
+    "ScenarioSpec",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+    "scenario",
 ]

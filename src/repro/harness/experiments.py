@@ -1,54 +1,55 @@
-"""Drivers regenerating every table and figure of the paper's §6.
+"""CLI + legacy figure aliases over the declarative scenario engine.
 
-Each ``figNx``/``tableN`` function enumerates its experiment grid as
-independent :class:`~repro.harness.runner.Cell`\\ s, executes them via
-:func:`~repro.harness.runner.run_cells` (serially, or across worker
-processes with ``jobs > 1`` — figure data is byte-identical either
-way), and assembles plain data (dicts/lists) that
-:func:`render` turns into a text table.  ``scale`` selects sizing:
+Every table and figure of the paper's §6 — and every scenario beyond
+them — is a registered :class:`~repro.harness.scenarios.ScenarioSpec`
+(see :mod:`repro.harness.scenarios` and docs/SCENARIOS.md).  This
+module keeps the historical surface:
 
-* ``"quick"`` — benchmark-friendly (seconds per system);
-* ``"full"``  — the docs/EXPERIMENTS.md numbers (minutes per figure).
+* ``figNx()``/``table1()``/``ablation_chain_release()`` are thin
+  aliases calling :func:`~repro.harness.scenarios.run_scenario` on the
+  registered spec of the same name — their figure data is
+  byte-identical to the pre-spec implementations;
+* :data:`ALL_EXPERIMENTS` maps the legacy names to those aliases;
+* :func:`main` is the command line::
 
-Run everything from the command line::
+      python -m repro.harness.experiments --figure fig5a --scale quick
+      python -m repro.harness.experiments --all --scale quick --jobs 4
+      python -m repro.harness.experiments --list-scenarios
+      python -m repro.harness.experiments --scenario churn_sweep \\
+          --set mtbf_ms=1000,4000 --jobs 2
 
-    python -m repro.harness.experiments --figure fig5a --scale quick
-    python -m repro.harness.experiments --all --scale quick --jobs 4
-    python -m repro.harness.experiments --all --scale full
+  ``--scenario`` runs any registered scenario; ``--set key=value``
+  overrides a sweep axis or (sub-)spec field; ``--all`` runs the eleven
+  paper figures on one shared worker pool (cells stream across figure
+  boundaries — no idle cores while a straggler finishes).
 
 Per-figure reference (knobs, expected wall-clock, how to read each
-table): docs/EXPERIMENTS.md.
+table): docs/EXPERIMENTS.md.  Scenario authoring: docs/SCENARIOS.md.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..apps.game import GameConfig, Room, build_game
-from ..apps.tpcc import TpccConfig, TpccWorkload, build_tpcc
-from ..core.costs import CostModel, DEFAULT_COSTS
-from ..core.runtime import FAILED_TAG
-from ..elasticity import CloudStorage, EManager, MigrationCoordinator, SLAPolicy
-from ..faults import (
-    FailureDetector,
-    FaultInjector,
-    FaultSchedule,
-    ServerCrash,
-    random_churn,
+from .runner import CellPool
+from .scenarios import (
+    SCALES,
+    Scale,
+    ScenarioError,
+    ScenarioSpec,
+    _elastic_game_run,  # noqa: F401  (re-export: benchmarks drive it directly)
+    _jsonable,
+    assemble_scenario,
+    expand,
+    fig10_phases,  # noqa: F401  (re-export: fig10 benchmark reads phases)
+    get_scenario,
+    list_scenarios,
+    prepare_scenario,
+    render_scenario,
+    run_scenario,
 )
-from ..sim.cluster import INSTANCE_TYPES, M1_SMALL, M3_LARGE, Server
-from ..sim.metrics import mean
-from ..workloads.generators import ClosedLoopClients, DynamicClients, RampProfile
-from ..workloads.sla import availability_slo, sla_report
-from .report import format_series, format_table
-from .runner import Cell, SYSTEMS, make_testbed, measure, run_cells, run_game
-
-#: Dotted-path prefix for this module's cell bodies (see Cell.fn).
-_EXP = "repro.harness.experiments"
 
 __all__ = [
     "fig5a",
@@ -63,1063 +64,47 @@ __all__ = [
     "fig11",
     "ablation_chain_release",
     "ALL_EXPERIMENTS",
+    "SCALES",
+    "Scale",
+    "render",
     "main",
 ]
 
 
-@dataclass
-class Scale:
-    """Experiment sizing knobs."""
+def _alias(name: str) -> Callable:
+    """Build a legacy ``figN(scale, seed, jobs)`` wrapper for a scenario."""
 
-    game_duration_ms: float
-    game_warmup_ms: float
-    game_clients_per_server: int
-    tpcc_duration_ms: float
-    tpcc_warmup_ms: float
-    tpcc_clients_per_server: int
-    server_counts: Tuple[int, ...]
-    client_sweep: Tuple[int, ...]
-    elastic_duration_ms: float
-    migration_duration_ms: float
-    emanager_batch: int
-    fault_duration_ms: float = 16000.0
-    fault_clients: int = 48
-    fault_checkpoint_ms: float = 1500.0
-    # fig11 (long-horizon churn availability) sizing.
-    churn_duration_ms: float = 30000.0
-    churn_clients: int = 40
-    churn_mtbf_ms: float = 3000.0
-    churn_start_ms: float = 5000.0
-    churn_checkpoint_ms: float = 1500.0
-    churn_restart_ms: Tuple[float, float] = (1500.0, 4000.0)
+    def run(scale: str = "quick", seed: int = 0, jobs: int = 1):
+        return run_scenario(name, scale=scale, seed=seed, jobs=jobs)
 
-
-SCALES: Dict[str, Scale] = {
-    "quick": Scale(
-        game_duration_ms=1200.0,
-        game_warmup_ms=400.0,
-        game_clients_per_server=60,
-        tpcc_duration_ms=8000.0,
-        tpcc_warmup_ms=2500.0,
-        tpcc_clients_per_server=12,
-        server_counts=(2, 4, 8),
-        client_sweep=(8, 32, 96, 192),
-        elastic_duration_ms=40000.0,
-        migration_duration_ms=12000.0,
-        emanager_batch=40,
-        fault_duration_ms=16000.0,
-        fault_clients=48,
-        fault_checkpoint_ms=1500.0,
-        churn_duration_ms=30000.0,
-        churn_clients=40,
-        churn_mtbf_ms=3000.0,
-        churn_start_ms=5000.0,
-        churn_checkpoint_ms=1500.0,
-        churn_restart_ms=(1500.0, 4000.0),
-    ),
-    "full": Scale(
-        game_duration_ms=2500.0,
-        game_warmup_ms=700.0,
-        game_clients_per_server=110,
-        tpcc_duration_ms=15000.0,
-        tpcc_warmup_ms=4000.0,
-        tpcc_clients_per_server=16,
-        server_counts=(2, 4, 8, 12, 16),
-        client_sweep=(8, 24, 64, 128, 256, 512),
-        elastic_duration_ms=60000.0,
-        migration_duration_ms=20000.0,
-        emanager_batch=120,
-        fault_duration_ms=40000.0,
-        fault_clients=120,
-        fault_checkpoint_ms=2000.0,
-        churn_duration_ms=120000.0,
-        churn_clients=96,
-        churn_mtbf_ms=12000.0,
-        churn_start_ms=10000.0,
-        churn_checkpoint_ms=2000.0,
-        churn_restart_ms=(2000.0, 8000.0),
-    ),
-}
-
-
-def _tpcc_run(
-    system: str,
-    n_servers: int,
-    n_clients: int,
-    duration_ms: float,
-    warmup_ms: float,
-    seed: int = 0,
-    think_ms: float = 5.0,
-):
-    testbed = make_testbed(system, n_servers, seed=seed)
-    config = TpccConfig(districts=n_servers, customers_per_district=10)
-    deployment = build_tpcc(
-        testbed.runtime,
-        config,
-        multi_ownership=(system == "aeon"),
-        servers=testbed.servers,
-        colocate=system in ("aeon", "aeon_so", "eventwave"),
+    run.__name__ = name
+    run.__qualname__ = name
+    run.__doc__ = (
+        f"{get_scenario(name).description or get_scenario(name).title}\n\n"
+        f"Thin alias for ``run_scenario({name!r})``: ``scale`` picks the\n"
+        f"sizing preset, ``seed`` the RNG seed, ``jobs`` the worker\n"
+        f"processes (1 = serial, 0 = one per core; figure data is\n"
+        f"byte-identical at any level).  Reference: docs/EXPERIMENTS.md\n"
+        f"§ {name}."
     )
-    workload = TpccWorkload(deployment, system)
-    clients = ClosedLoopClients(
-        testbed.runtime,
-        workload.sample_op,
-        n_clients=n_clients,
-        think_ms=think_ms,
-        rng=testbed.rng,
-        stop_at_ms=duration_ms,
-    )
-    clients.start()
-    testbed.sim.run(until=duration_ms + 15000.0)
-    result = measure(system, testbed, n_clients, warmup_ms, duration_ms)
-    result.errors = len(clients.errors)
-    return result, testbed, deployment
-
-
-# ----------------------------------------------------------------------
-# Fig. 5a — game scale-out
-# ----------------------------------------------------------------------
-def _fig5a_cell(system: str, n_servers: int, scale: str, seed: int) -> float:
-    """One fig5a grid point: game throughput at ``n_servers``."""
-    sizing = SCALES[scale]
-    result, _tb, _app = run_game(
-        system,
-        n_servers,
-        n_clients=sizing.game_clients_per_server * n_servers,
-        duration_ms=sizing.game_duration_ms,
-        warmup_ms=sizing.game_warmup_ms,
-        think_ms=2.0,
-        seed=seed,
-    )
-    return result.throughput_per_s
-
-
-def fig5a(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> Dict[str, List[Tuple[int, float]]]:
-    """Game throughput vs number of servers, all five systems.
-
-    Args: ``scale`` sizing preset, ``seed`` RNG seed, ``jobs`` worker
-    processes (1 = serial, 0 = one per core).  Returns
-    ``{system: [(n_servers, events_per_s), ...]}``.  Reference:
-    docs/EXPERIMENTS.md § fig5a.
-    """
-    sizing = SCALES[scale]
-    cells = [
-        Cell(
-            (system, n_servers),
-            f"{_EXP}:_fig5a_cell",
-            dict(system=system, n_servers=n_servers, scale=scale, seed=seed),
-        )
-        for system in SYSTEMS
-        for n_servers in sizing.server_counts
-    ]
-    curves: Dict[str, List[Tuple[int, float]]] = {system: [] for system in SYSTEMS}
-    for cell, result in zip(cells, run_cells(cells, jobs)):
-        curves[cell.key[0]].append((cell.key[1], result.value))
-    return curves
-
-
-# ----------------------------------------------------------------------
-# Fig. 5b — game latency vs throughput at 8 servers
-# ----------------------------------------------------------------------
-def _fig5b_cell(
-    system: str, n_clients: int, scale: str, seed: int
-) -> Tuple[float, float]:
-    """One fig5b sweep point: (throughput, mean latency) at ``n_clients``."""
-    sizing = SCALES[scale]
-    result, _tb, _app = run_game(
-        system,
-        8,
-        n_clients=n_clients,
-        duration_ms=sizing.game_duration_ms,
-        warmup_ms=sizing.game_warmup_ms,
-        think_ms=2.0,
-        seed=seed,
-    )
-    return (result.throughput_per_s, result.mean_latency_ms)
-
-
-def fig5b(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> Dict[str, List[Tuple[float, float]]]:
-    """Game (throughput, mean latency) pairs over a client sweep.
-
-    Args/parallelism as :func:`fig5a`.  Returns ``{system:
-    [(events_per_s, mean_latency_ms), ...]}`` in sweep order.
-    Reference: docs/EXPERIMENTS.md § fig5b.
-    """
-    sizing = SCALES[scale]
-    cells = [
-        Cell(
-            (system, n_clients),
-            f"{_EXP}:_fig5b_cell",
-            dict(system=system, n_clients=n_clients, scale=scale, seed=seed),
-        )
-        for system in SYSTEMS
-        for n_clients in sizing.client_sweep
-    ]
-    curves: Dict[str, List[Tuple[float, float]]] = {system: [] for system in SYSTEMS}
-    for cell, result in zip(cells, run_cells(cells, jobs)):
-        curves[cell.key[0]].append(result.value)
-    return curves
-
-
-# ----------------------------------------------------------------------
-# Fig. 6a — TPC-C scale-out
-# ----------------------------------------------------------------------
-def _fig6a_cell(system: str, n_servers: int, scale: str, seed: int) -> float:
-    """One fig6a grid point: TPC-C throughput at ``n_servers``."""
-    sizing = SCALES[scale]
-    result, _tb, _dep = _tpcc_run(
-        system,
-        n_servers,
-        n_clients=sizing.tpcc_clients_per_server * n_servers,
-        duration_ms=sizing.tpcc_duration_ms,
-        warmup_ms=sizing.tpcc_warmup_ms,
-        seed=seed,
-    )
-    return result.throughput_per_s
-
-
-def fig6a(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> Dict[str, List[Tuple[int, float]]]:
-    """TPC-C throughput vs number of servers (one district each).
-
-    Args/parallelism as :func:`fig5a`.  Returns ``{system:
-    [(n_servers, txns_per_s), ...]}``.  Reference: docs/EXPERIMENTS.md
-    § fig6a.
-    """
-    sizing = SCALES[scale]
-    cells = [
-        Cell(
-            (system, n_servers),
-            f"{_EXP}:_fig6a_cell",
-            dict(system=system, n_servers=n_servers, scale=scale, seed=seed),
-        )
-        for system in SYSTEMS
-        for n_servers in sizing.server_counts
-    ]
-    curves: Dict[str, List[Tuple[int, float]]] = {system: [] for system in SYSTEMS}
-    for cell, result in zip(cells, run_cells(cells, jobs)):
-        curves[cell.key[0]].append((cell.key[1], result.value))
-    return curves
-
-
-# ----------------------------------------------------------------------
-# Fig. 6b — TPC-C latency vs throughput at 8 servers
-# ----------------------------------------------------------------------
-def _fig6b_cell(
-    system: str, n_clients: int, scale: str, seed: int
-) -> Tuple[float, float]:
-    """One fig6b sweep point: (throughput, mean latency) at ``n_clients``."""
-    sizing = SCALES[scale]
-    result, _tb, _dep = _tpcc_run(
-        system,
-        8,
-        n_clients=n_clients,
-        duration_ms=sizing.tpcc_duration_ms,
-        warmup_ms=sizing.tpcc_warmup_ms,
-        seed=seed,
-    )
-    return (result.throughput_per_s, result.mean_latency_ms)
-
-
-def fig6b(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> Dict[str, List[Tuple[float, float]]]:
-    """TPC-C (throughput, mean latency) pairs over a client sweep.
-
-    Args/parallelism as :func:`fig5a`.  Returns ``{system:
-    [(txns_per_s, mean_latency_ms), ...]}`` in sweep order.  Reference:
-    docs/EXPERIMENTS.md § fig6b.
-    """
-    sizing = SCALES[scale]
-    cells = [
-        Cell(
-            (system, n_clients),
-            f"{_EXP}:_fig6b_cell",
-            dict(system=system, n_clients=n_clients, scale=scale, seed=seed),
-        )
-        for system in SYSTEMS
-        for n_clients in sizing.client_sweep
-    ]
-    curves: Dict[str, List[Tuple[float, float]]] = {system: [] for system in SYSTEMS}
-    for cell, result in zip(cells, run_cells(cells, jobs)):
-        curves[cell.key[0]].append(result.value)
-    return curves
-
-
-# ----------------------------------------------------------------------
-# Fig. 7 + Table 1 — elasticity under an SLA
-# ----------------------------------------------------------------------
-def _elastic_game_run(
-    setup: str,
-    scale: str,
-    seed: int = 0,
-    sla_ms: float = 10.0,
-) -> Dict[str, object]:
-    """One §6.2 run: ``setup`` is 'elastic' or a fixed server count."""
-    sizing = SCALES[scale]
-    duration = sizing.elastic_duration_ms
-    elastic = setup == "elastic"
-    start_servers = 8 if elastic else int(setup)
-    testbed = make_testbed("aeon", start_servers, instance_type=M1_SMALL, seed=seed)
-    testbed.cluster.boot_delay_ms = 1500.0
-    # 32 rooms so the fleet can usefully grow beyond 16 servers.
-    config = GameConfig(rooms=32, players_per_room=4, shared_items_per_room=2)
-    app = build_game(testbed.runtime, config, "aeon", servers=testbed.servers)
-    manager = None
-    if elastic:
-        storage = CloudStorage(testbed.sim)
-        policy = SLAPolicy(sla_ms=sla_ms, scale_out_step=4, min_servers=4,
-                           max_servers=40, scale_in_fraction=0.25,
-                           headroom=0.45)
-        manager = EManager(
-            testbed.runtime, storage, policy, M1_SMALL,
-            report_interval_ms=1000.0, max_concurrent_migrations=8,
-        )
-        manager.start()
-    profile = RampProfile.normal_peak(
-        duration, machines=8, min_per_machine=1, max_per_machine=16
-    )
-    clients = DynamicClients(
-        testbed.runtime,
-        app.sample_op,
-        profile,
-        think_ms=12.0,
-        rng=testbed.rng,
-        stop_at_ms=duration,
-    )
-    clients.start()
-    testbed.sim.run(until=duration + 5000.0)
-    if manager is not None:
-        manager.stop()
-    # Latency time series (1 s buckets) and server-count series.
-    latency_series = testbed.runtime.latency.windowed_mean(1000.0, duration)
-    if manager is not None:
-        server_series = manager.server_count_series
-        avg_servers = server_series.mean_value()
-    else:
-        count = len(testbed.cluster.alive_servers())
-        server_series = None
-        avg_servers = float(count)
-    report = sla_report(
-        setup, testbed.runtime.latency, sla_ms, avg_servers, since_ms=0.0
-    )
-    return {
-        "setup": setup,
-        "latency_series": latency_series.points,
-        "server_series": server_series.points if server_series else None,
-        "client_series": clients.active_series,
-        "sla": report,
-    }
-
-
-def _elastic_cells(setups: Tuple[str, ...], scale: str, seed: int) -> List[Cell]:
-    """One :func:`_elastic_game_run` cell per setup."""
-    return [
-        Cell(
-            (setup,),
-            f"{_EXP}:_elastic_game_run",
-            dict(setup=setup, scale=scale, seed=seed),
-        )
-        for setup in setups
-    ]
-
-
-def fig7(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> Dict[str, Dict[str, object]]:
-    """Latency and server-count time series: elastic vs static setups.
-
-    Args/parallelism as :func:`fig5a` (one cell per setup).  Returns
-    ``{setup: run}`` with latency/server/client series and the SLA
-    report.  Reference: docs/EXPERIMENTS.md § fig7.
-    """
-    cells = _elastic_cells(("elastic", "8", "16", "32"), scale, seed)
-    return {
-        cell.key[0]: result.value
-        for cell, result in zip(cells, run_cells(cells, jobs))
-    }
-
-
-def table1(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> List[Dict[str, object]]:
-    """SLA violation percentage and average servers per setup.
-
-    Args/parallelism as :func:`fig5a` (one cell per setup).  Returns a
-    row dict per setup.  Reference: docs/EXPERIMENTS.md § table1.
-    """
-    cells = _elastic_cells(("8", "16", "22", "32", "elastic"), scale, seed)
-    rows = []
-    for cell, result in zip(cells, run_cells(cells, jobs)):
-        setup = cell.key[0]
-        report = result.value["sla"]
-        rows.append(
-            {
-                "setup": f"{setup}-server" if setup != "elastic" else "Elastic",
-                "violation_pct": report.violation_pct,
-                "avg_servers": report.avg_servers,
-                "requests": report.total_requests,
-            }
-        )
-    return rows
-
-
-# ----------------------------------------------------------------------
-# Fig. 8 — migration impact on throughput
-# ----------------------------------------------------------------------
-def _fig8_cell(
-    n_migrations: int, scale: str, seed: int
-) -> List[Tuple[float, float]]:
-    """One fig8 run: throughput series while migrating ``n_migrations`` Rooms."""
-    sizing = SCALES[scale]
-    duration = sizing.migration_duration_ms
-    testbed = make_testbed("aeon", 20, instance_type=M1_SMALL, seed=seed)
-    config = GameConfig(rooms=20, players_per_room=4, shared_items_per_room=2)
-    app = build_game(testbed.runtime, config, "aeon", servers=testbed.servers)
-    storage = CloudStorage(testbed.sim)
-    host = Server(testbed.sim, "~emanager", M3_LARGE)
-    testbed.network.register(host.name, host.mailbox, M3_LARGE)
-    coordinator = MigrationCoordinator(testbed.runtime, storage, host)
-    clients = ClosedLoopClients(
-        testbed.runtime,
-        app.sample_op,
-        n_clients=120,
-        think_ms=10.0,
-        rng=testbed.rng,
-        stop_at_ms=duration,
-    )
-    clients.start()
-
-    def migrate_rooms(n=n_migrations, tb=testbed, coord=coordinator):
-        yield tb.sim.timeout(duration * 0.4)
-        handles = []
-        for i in range(n):
-            src_room = f"room-{i}"
-            dst = tb.servers[(i + 1) % len(tb.servers)]
-            if tb.runtime.placement[src_room] == dst.name:
-                dst = tb.servers[(i + 2) % len(tb.servers)]
-            handles.append(coord.migrate(src_room, dst))
-        for handle in handles:
-            yield handle
-
-    testbed.sim.process(migrate_rooms())
-    testbed.sim.run(until=duration + 5000.0)
-    window = testbed.runtime.throughput.windowed_rate(250.0, duration)
-    return window.points
-
-
-def fig8(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> Dict[str, List[Tuple[float, float]]]:
-    """Throughput time series while migrating 1/8/12 of 20 Rooms.
-
-    Args/parallelism as :func:`fig5a` (one cell per migration count).
-    Returns ``{"N contexts": [(t_ms, events_per_s), ...]}``.
-    Reference: docs/EXPERIMENTS.md § fig8.
-    """
-    cells = [
-        Cell(
-            (n_migrations,),
-            f"{_EXP}:_fig8_cell",
-            dict(n_migrations=n_migrations, scale=scale, seed=seed),
-        )
-        for n_migrations in (1, 8, 12)
-    ]
-    return {
-        f"{cell.key[0]} contexts": result.value
-        for cell, result in zip(cells, run_cells(cells, jobs))
-    }
-
-
-# ----------------------------------------------------------------------
-# Fig. 9 — eManager migration throughput by instance type
-# ----------------------------------------------------------------------
-def _fig9_cell(itype_name: str, size_bytes: int, scale: str, seed: int) -> float:
-    """One fig9 grid point: eManager migration throughput (contexts/s)."""
-    sizing = SCALES[scale]
-    batch = sizing.emanager_batch
-    itype = INSTANCE_TYPES[itype_name]
-    testbed = make_testbed("aeon", 2, instance_type=itype, seed=seed)
-
-    class Payload(Room):
-        pass
-
-    Payload.size_bytes = size_bytes
-    refs = []
-    for i in range(batch):
-        refs.append(
-            testbed.runtime.create_context(
-                Payload, server=testbed.servers[0],
-                name=f"payload-{i}", args=(i,),
-            )
-        )
-    storage = CloudStorage(testbed.sim)
-    host = Server(testbed.sim, "~emanager", itype)
-    testbed.network.register(host.name, host.mailbox, itype)
-    coordinator = MigrationCoordinator(testbed.runtime, storage, host)
-
-    def pump():
-        window = 4  # concurrent migrations in flight
-        pending = []
-        for ref in refs:
-            pending.append(coordinator.migrate(ref.cid, testbed.servers[1]))
-            if len(pending) >= window:
-                yield pending.pop(0)
-        for handle in pending:
-            yield handle
-
-    start = testbed.sim.now
-    testbed.sim.run_process(pump())
-    elapsed_s = (testbed.sim.now - start) / 1000.0
-    return batch / elapsed_s if elapsed_s > 0 else 0.0
-
-
-def fig9(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> Dict[str, Dict[str, float]]:
-    """Max contexts/s the eManager migrates, per instance type and size.
-
-    Args/parallelism as :func:`fig5a` (one cell per instance × payload
-    size).  Returns ``{instance_type: {"1KB"|"1MB": contexts_per_s}}``.
-    Reference: docs/EXPERIMENTS.md § fig9.
-    """
-    cells = [
-        Cell(
-            (itype_name, label),
-            f"{_EXP}:_fig9_cell",
-            dict(itype_name=itype_name, size_bytes=size_bytes, scale=scale, seed=seed),
-        )
-        for itype_name in ("m1.large", "m1.medium", "m1.small")
-        for label, size_bytes in (("1KB", 1024), ("1MB", 1_000_000))
-    ]
-    results: Dict[str, Dict[str, float]] = {}
-    for cell, result in zip(cells, run_cells(cells, jobs)):
-        results.setdefault(cell.key[0], {})[cell.key[1]] = result.value
-    return results
-
-
-# ----------------------------------------------------------------------
-# Fig. 10 — availability through a crash/recovery timeline (beyond the
-# paper: the §5.3 machinery exercised as a recovery mechanism)
-# ----------------------------------------------------------------------
-FIG10_SYSTEMS = ("aeon", "eventwave", "orleans")
-
-#: Crash the victim at this fraction of the run, restart it this much later.
-FIG10_CRASH_FRAC = 0.35
-FIG10_RESTART_FRAC = 0.30
-FIG10_WINDOW_MS = 500.0
-
-
-def fig10_run(system: str, scale: str = "quick", seed: int = 0) -> Dict[str, object]:
-    """One availability run: game + checkpoints + a mid-run server crash.
-
-    A 6-server game deployment serves closed-loop clients while the
-    eManager checkpoints every Room subtree to cloud storage on a fixed
-    cadence and a heartbeat/lease failure detector watches the fleet.
-    At 35% of the run one server fail-stops (losing its contexts'
-    volatile state); the detector declares it dead, the eManager
-    re-places the lost contexts from their last checkpoints on the
-    survivors, and the server itself restarts — empty — later.  Clients
-    retry delivery failures (surfaced as retryable errors) twice.
-
-    Returns goodput and p99 time series (failed events excluded), the
-    crash/recovery timeline and the lost-work accounting.
-    """
-    sizing = SCALES[scale]
-    duration = sizing.fault_duration_ms
-    n_servers = 6
-    testbed = make_testbed(system, n_servers, seed=seed)
-    runtime = testbed.runtime
-    config = GameConfig(rooms=n_servers, players_per_room=4, shared_items_per_room=2)
-    app = build_game(runtime, config, system, servers=testbed.servers)
-
-    storage = CloudStorage(testbed.sim)
-    manager = EManager(runtime, storage, None, M3_LARGE, max_concurrent_migrations=8)
-    detector = FailureDetector(
-        testbed.sim,
-        testbed.network,
-        testbed.cluster,
-        heartbeat_interval_ms=200.0,
-        lease_ms=650.0,
-        check_interval_ms=100.0,
-    )
-    manager.enable_fault_tolerance(
-        detector,
-        checkpoint_interval_ms=sizing.fault_checkpoint_ms,
-        roots=[room.cid for room in app.rooms],
-        # Orleans has no global lock order: a subtree-locking snapshot
-        # deadlocks against its per-call turn locks, so it gets the
-        # per-grain (fuzzy) persistence real Orleans offers.
-        consistent_checkpoints=(system != "orleans"),
-    )
-    detector.start()
-
-    victim = testbed.servers[1].name  # hosts room-1's co-located subtree
-    crash_at = duration * FIG10_CRASH_FRAC
-    restart_after = duration * FIG10_RESTART_FRAC
-    schedule = FaultSchedule(
-        [ServerCrash(crash_at, victim, restart_after_ms=restart_after)]
-    )
-    injector = FaultInjector(
-        testbed.sim, testbed.network, testbed.cluster, schedule, rng=testbed.rng
-    )
-    injector.start()
-
-    clients = ClosedLoopClients(
-        runtime,
-        app.sample_op,
-        n_clients=sizing.fault_clients,
-        think_ms=8.0,
-        rng=testbed.rng,
-        stop_at_ms=duration,
-        max_retries=2,
-    )
-    clients.start()
-    testbed.sim.run(until=duration + 3000.0)
-    detector.stop()
-    manager.stop()
-
-    goodput = runtime.latency.windowed_count(
-        FIG10_WINDOW_MS, duration, exclude_tag=FAILED_TAG
-    )
-    p99 = runtime.latency.windowed_percentile(
-        99.0, FIG10_WINDOW_MS, duration, exclude_tag=FAILED_TAG
-    )
-    return {
-        "system": system,
-        "duration_ms": duration,
-        "crash_at_ms": crash_at,
-        "restart_at_ms": crash_at + restart_after,
-        "victim": victim,
-        "goodput": goodput.points,
-        "p99": p99.points,
-        "events_failed": runtime.events_failed,
-        "client_errors": len(clients.errors),
-        "client_retries": clients.retries,
-        "detections": [
-            {
-                "server": d.server,
-                "detected_at_ms": d.detected_at_ms,
-                "latency_ms": d.latency_ms,
-            }
-            for d in detector.detections
-        ],
-        "recoveries": manager.recovery_log,
-        "contexts_recovered": manager.contexts_recovered,
-        "checkpoints_taken": manager.checkpoints_taken,
-        "fault_log": injector.log,
-    }
-
-
-def fig10(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> Dict[str, Dict[str, object]]:
-    """Goodput/p99 through a crash/recovery timeline, AEON vs baselines.
-
-    Args/parallelism as :func:`fig5a` (one :func:`fig10_run` cell per
-    system).  Returns ``{system: run}``.  Reference: docs/EXPERIMENTS.md
-    § fig10.
-    """
-    cells = [
-        Cell(
-            (system,),
-            f"{_EXP}:fig10_run",
-            dict(system=system, scale=scale, seed=seed),
-        )
-        for system in FIG10_SYSTEMS
-    ]
-    return {
-        cell.key[0]: result.value
-        for cell, result in zip(cells, run_cells(cells, jobs))
-    }
-
-
-# ----------------------------------------------------------------------
-# Fig. 11 — long-horizon churn availability (beyond the paper: fig10's
-# single crash replaced by sustained crash/restart churn, scored
-# against a windowed availability SLO, with incremental checkpoints)
-# ----------------------------------------------------------------------
-FIG11_SYSTEMS = ("aeon", "eventwave", "orleans")
-FIG11_WINDOW_MS = 500.0
-
-
-def _fig11_room_weights(n_rooms: int) -> List[float]:
-    """Geometric hot/cold room skew (room 0 hottest).
-
-    Skewed write traffic is what incremental checkpoints exploit: cold
-    rooms' subtrees go unchanged between intervals and are skipped.
-    """
-    return [0.5**i for i in range(n_rooms)]
-
-
-def fig11_run(
-    system: str,
-    scale: str = "quick",
-    seed: int = 0,
-    checkpoint_mode: str = "delta",
-) -> Dict[str, object]:
-    """One long-horizon churn run: game + checkpoints + crash/restart churn.
-
-    Like :func:`fig10_run` but the single mid-run crash becomes
-    :func:`repro.faults.random_churn`: crash/restart cycles arrive for
-    the whole horizon (one server down at a time), each detected by the
-    heartbeat/lease detector and recovered by checkpoint re-placement,
-    while the detector's declarations also push-invalidate client
-    location caches.  Client traffic is skewed across rooms (see
-    :func:`_fig11_room_weights`) and checkpoints default to the
-    incremental base+delta mode.
-
-    Returns goodput/p99 series, the availability SLO score (fraction of
-    windows post-churn-start meeting goodput/p99 targets derived from
-    the pre-churn baseline), detection/recovery/lost-work accounting and
-    the checkpoint storage cost.
-    """
-    sizing = SCALES[scale]
-    duration = sizing.churn_duration_ms
-    churn_start = sizing.churn_start_ms
-    n_servers = 6
-    testbed = make_testbed(system, n_servers, seed=seed)
-    runtime = testbed.runtime
-    config = GameConfig(rooms=n_servers, players_per_room=4, shared_items_per_room=2)
-    app = build_game(runtime, config, system, servers=testbed.servers)
-    app.set_room_weights(_fig11_room_weights(n_servers))
-
-    storage = CloudStorage(testbed.sim)
-    manager = EManager(runtime, storage, None, M3_LARGE, max_concurrent_migrations=8)
-    detector = FailureDetector(
-        testbed.sim,
-        testbed.network,
-        testbed.cluster,
-        heartbeat_interval_ms=200.0,
-        lease_ms=650.0,
-        check_interval_ms=100.0,
-    )
-    manager.enable_fault_tolerance(
-        detector,
-        checkpoint_interval_ms=sizing.churn_checkpoint_ms,
-        roots=[room.cid for room in app.rooms],
-        # Orleans gets per-grain (fuzzy) persistence — see fig10_run.
-        consistent_checkpoints=(system != "orleans"),
-        checkpoint_mode=checkpoint_mode,
-    )
-    detector.start()
-
-    schedule = random_churn(
-        [server.name for server in testbed.servers],
-        duration,
-        testbed.rng,
-        mean_time_between_crashes_ms=sizing.churn_mtbf_ms,
-        restart_delay_ms=sizing.churn_restart_ms,
-        start_ms=churn_start,
-    )
-    injector = FaultInjector(
-        testbed.sim, testbed.network, testbed.cluster, schedule, rng=testbed.rng
-    )
-    injector.start()
-
-    clients = ClosedLoopClients(
-        runtime,
-        app.sample_op,
-        n_clients=sizing.churn_clients,
-        think_ms=8.0,
-        rng=testbed.rng,
-        stop_at_ms=duration,
-        max_retries=2,
-    )
-    clients.start()
-    testbed.sim.run(until=duration + 3000.0)
-    detector.stop()
-    manager.stop()
-
-    goodput = runtime.latency.windowed_count(
-        FIG11_WINDOW_MS, duration, exclude_tag=FAILED_TAG
-    )
-    p99 = runtime.latency.windowed_percentile(
-        99.0, FIG11_WINDOW_MS, duration, exclude_tag=FAILED_TAG
-    )
-    slo = availability_slo(
-        goodput.points,
-        p99.points,
-        baseline_from_ms=churn_start * 0.3,
-        baseline_to_ms=churn_start,
-        eval_from_ms=churn_start,
-        eval_to_ms=duration,
-        # A window is available at ≥85% of fault-free goodput with p99
-        # within 3× of baseline (20 ms floor): strict enough that the
-        # detection+recovery gap after each crash shows up, loose enough
-        # that steady-state noise does not.
-        goodput_fraction=0.85,
-        p99_multiplier=3.0,
-        p99_floor_ms=20.0,
-    )
-    detect_latencies = [
-        d.latency_ms for d in detector.detections if d.latency_ms is not None
-    ]
-    return {
-        "system": system,
-        "checkpoint_mode": checkpoint_mode,
-        "duration_ms": duration,
-        "churn_start_ms": churn_start,
-        "crashes": len(schedule),
-        "goodput": goodput.points,
-        "p99": p99.points,
-        "slo": slo.as_dict(),
-        "detections": len(detector.detections),
-        "mean_detection_latency_ms": mean(detect_latencies),
-        "redeclarations": detector.redeclarations,
-        "recoveries": manager.recoveries,
-        "contexts_recovered": manager.contexts_recovered,
-        "contexts_restored_without_checkpoint": (
-            manager.contexts_restored_without_checkpoint
-        ),
-        "cache_invalidations": manager.cache_invalidations,
-        "events_failed": runtime.events_failed,
-        "client_errors": len(clients.errors),
-        "client_retries": clients.retries,
-        "checkpoints_taken": manager.checkpoints_taken,
-        "checkpoints_skipped": manager.checkpoints_skipped,
-        "checkpoint_bytes_written": manager.checkpoint_bytes_written,
-        "recovery_log": manager.recovery_log,
-        "fault_log": injector.log,
-    }
-
-
-def fig11(scale: str = "quick", seed: int = 0, jobs: int = 1) -> Dict[str, object]:
-    """Availability SLO table under sustained churn, AEON vs baselines.
-
-    Every system runs with incremental (delta) checkpoints; AEON runs
-    once more with full checkpoints so the table can report the
-    checkpoint-bytes saving delta mode buys on the identical churn
-    scenario.  Args/parallelism as :func:`fig5a` (one
-    :func:`fig11_run` cell per system plus the aeon-full cell).
-    Reference: docs/EXPERIMENTS.md § fig11.
-    """
-    cells = [
-        Cell(
-            (system, "delta"),
-            f"{_EXP}:fig11_run",
-            dict(system=system, scale=scale, seed=seed, checkpoint_mode="delta"),
-        )
-        for system in FIG11_SYSTEMS
-    ]
-    cells.append(
-        Cell(
-            ("aeon", "full"),
-            f"{_EXP}:fig11_run",
-            dict(system="aeon", scale=scale, seed=seed, checkpoint_mode="full"),
-        )
-    )
-    results = run_cells(cells, jobs)
-    systems = {
-        cell.key[0]: result.value
-        for cell, result in zip(cells[:-1], results[:-1])
-    }
-    return {
-        "window_ms": FIG11_WINDOW_MS,
-        "systems": systems,
-        "aeon_full": results[-1].value,
-    }
-
-
-# ----------------------------------------------------------------------
-# Ablation — chain release on/off (beyond the paper)
-# ----------------------------------------------------------------------
-def _ablation_cell(early_release: bool, scale: str, seed: int) -> float:
-    """One ablation run: TPC-C throughput with the given release mode."""
-    sizing = SCALES[scale]
-    costs = DEFAULT_COSTS.with_(early_release=early_release)
-    testbed = make_testbed("aeon_so", 4, seed=seed, costs=costs)
-    config = TpccConfig(districts=4, customers_per_district=10)
-    deployment = build_tpcc(
-        testbed.runtime, config, False, servers=testbed.servers
-    )
-    workload = TpccWorkload(deployment, "aeon_so")
-    clients = ClosedLoopClients(
-        testbed.runtime, workload.sample_op,
-        n_clients=sizing.tpcc_clients_per_server * 4,
-        think_ms=5.0, rng=testbed.rng,
-        stop_at_ms=sizing.tpcc_duration_ms,
-    )
-    clients.start()
-    testbed.sim.run(until=sizing.tpcc_duration_ms + 15000.0)
-    result = measure("aeon_so", testbed, clients.n_clients,
-                     sizing.tpcc_warmup_ms, sizing.tpcc_duration_ms)
-    return result.throughput_per_s
-
-
-def ablation_chain_release(
-    scale: str = "quick", seed: int = 0, jobs: int = 1
-) -> Dict[str, float]:
-    """TPC-C throughput with and without chain (early) release.
-
-    Args/parallelism as :func:`fig5a` (one cell per release mode).
-    Returns ``{"chain-release"|"hold-till-commit": txns_per_s}``.
-    Reference: docs/EXPERIMENTS.md § ablation.
-    """
-    cells = [
-        Cell(
-            (label,),
-            f"{_EXP}:_ablation_cell",
-            dict(early_release=early, scale=scale, seed=seed),
-        )
-        for label, early in (("chain-release", True), ("hold-till-commit", False))
-    ]
-    return {
-        cell.key[0]: result.value
-        for cell, result in zip(cells, run_cells(cells, jobs))
-    }
-
-
-# ----------------------------------------------------------------------
-# Rendering and CLI
-# ----------------------------------------------------------------------
-def _render_fig5a(data) -> str:
-    systems = list(data)
-    counts = [n for n, _ in data[systems[0]]]
-    rows = []
-    for i, n in enumerate(counts):
-        rows.append([n] + [round(data[s][i][1]) for s in systems])
-    return format_table("Fig 5a — game scale-out (events/s)", ["servers"] + systems, rows)
-
-
-def _render_curve(title, data) -> str:
-    lines = [title, ""]
-    for system, points in data.items():
-        lines.append(f"[{system}]")
-        for x, y in points:
-            lines.append(f"  {x:10.1f}  {y:10.2f}")
-        lines.append("")
-    return "\n".join(lines)
-
-
-def _render_table1(rows) -> str:
-    return format_table(
-        "Table 1 — SLA performance and cost",
-        ["setup", "% requests > SLA", "avg servers", "requests"],
-        [
-            [r["setup"], round(r["violation_pct"], 1), round(r["avg_servers"], 1), r["requests"]]
-            for r in rows
-        ],
-    )
-
-
-def fig10_phases(run: Dict[str, object]) -> Dict[str, float]:
-    """Mean goodput of one fig10 run before / during / after the outage.
-
-    ``pre`` skips the first 10% as warmup; ``outage`` spans the crash to
-    the end of recovery (or the detector lease window when no recovery
-    ran); ``post`` starts 1 s after recovery finished.
-    """
-    crash = float(run["crash_at_ms"])
-    duration = float(run["duration_ms"])
-    recovery_end = crash
-    for entry in run["recoveries"]:
-        finished = entry.get("finished_ms")
-        if finished is not None and finished > recovery_end:
-            recovery_end = finished
-    if recovery_end <= crash:
-        recovery_end = crash + 1500.0
-    goodput = run["goodput"]
-    pre = [v for t, v in goodput if duration * 0.1 <= t < crash]
-    outage = [v for t, v in goodput if crash <= t < recovery_end]
-    post = [v for t, v in goodput if recovery_end + 1000.0 <= t < duration]
-    return {
-        "pre": mean(pre),
-        "outage": mean(outage),
-        "post": mean(post),
-        "recovery_end_ms": recovery_end,
-    }
-
-
-def _render_fig10(data) -> str:
-    rows = []
-    for system, run in data.items():
-        phases = fig10_phases(run)
-        detections = run["detections"]
-        detect_ms = mean(
-            [d["latency_ms"] for d in detections if d["latency_ms"] is not None]
-        )
-        rows.append(
-            [
-                system,
-                round(phases["pre"], 1),
-                round(phases["outage"], 1),
-                round(phases["post"], 1),
-                round(detect_ms, 1),
-                run["contexts_recovered"],
-                run["events_failed"],
-            ]
-        )
-    return format_table(
-        "Fig 10 — goodput through a crash/recovery timeline (events/s)",
-        ["system", "pre-crash", "outage", "recovered", "detect ms", "ctx restored", "failed"],
-        rows,
-    )
-
-
-def _render_fig11(data) -> str:
-    rows = []
-    runs = dict(data["systems"])
-    runs["aeon (full ckpt)"] = data["aeon_full"]
-    for label, run in runs.items():
-        slo = run["slo"]
-        rows.append(
-            [
-                label,
-                round(slo["availability_pct"], 1),
-                round(slo["baseline_goodput_per_s"], 1),
-                round(slo["goodput_target_per_s"], 1),
-                round(run["mean_detection_latency_ms"], 1),
-                run["contexts_recovered"],
-                run["events_failed"],
-                run["checkpoints_taken"],
-                run["checkpoints_skipped"],
-                run["checkpoint_bytes_written"],
-            ]
-        )
-    table = format_table(
-        "Fig 11 — availability SLO under crash/restart churn",
-        [
-            "system",
-            "avail %",
-            "base ev/s",
-            "target ev/s",
-            "detect ms",
-            "ctx restored",
-            "failed",
-            "ckpts",
-            "skipped",
-            "ckpt bytes",
-        ],
-        rows,
-    )
-    delta_bytes = data["systems"]["aeon"]["checkpoint_bytes_written"]
-    full_bytes = data["aeon_full"]["checkpoint_bytes_written"]
-    saving = 100.0 * (1.0 - delta_bytes / full_bytes) if full_bytes else 0.0
-    return (
-        table
-        + f"\n\ndelta checkpoints: {delta_bytes:,} bytes vs full "
-        + f"{full_bytes:,} bytes ({saving:.1f}% saved on identical churn)"
-    )
-
-
-def _render_fig9(data) -> str:
-    rows = [
-        [itype, round(sizes["1KB"], 1), round(sizes["1MB"], 1)]
-        for itype, sizes in data.items()
-    ]
-    return format_table(
-        "Fig 9 — eManager max migration throughput (contexts/s)",
-        ["instance", "1KB", "1MB"],
-        rows,
-    )
-
-
+    return run
+
+
+fig5a = _alias("fig5a")
+fig5b = _alias("fig5b")
+fig6a = _alias("fig6a")
+fig6b = _alias("fig6b")
+fig7 = _alias("fig7")
+table1 = _alias("table1")
+fig8 = _alias("fig8")
+fig9 = _alias("fig9")
+fig10 = _alias("fig10")
+fig11 = _alias("fig11")
+ablation_chain_release = _alias("ablation")
+
+#: The paper's figures by CLI name (the ``--all`` set).  Every entry is
+#: also a registered scenario; ``--scenario`` additionally reaches the
+#: beyond-the-paper scenarios (``--list-scenarios`` shows everything).
 ALL_EXPERIMENTS: Dict[str, Callable] = {
     "fig5a": fig5a,
     "fig5b": fig5b,
@@ -1135,42 +120,58 @@ ALL_EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
-def _jsonable(value: Any) -> Any:
-    """Recursively convert experiment results to JSON-encodable data."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return _jsonable(dataclasses.asdict(value))
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, (set, frozenset)):
-        return sorted(_jsonable(v) for v in value)
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+def render(name: str, data) -> str:
+    """Human-readable rendering for any registered scenario's result."""
+    return render_scenario(get_scenario(name), data)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point: run, print and optionally dump selected experiments.
+    """CLI entry point: run, print and optionally dump selected scenarios.
 
     Args: ``argv`` overrides ``sys.argv[1:]`` (used by tests).  Returns
-    the process exit code.  Flags: ``--figure``/``--all`` select
-    experiments, ``--scale`` the sizing preset, ``--seed`` the RNG seed,
-    ``--jobs`` the worker-process count (1 = serial, 0 = one per core;
-    figure data is byte-identical at any level), ``--json PATH`` dumps
-    machine-readable results.  Reference: docs/EXPERIMENTS.md.
+    the process exit code.  Flags: ``--figure``/``--all``/``--scenario``
+    select experiments (``--list-scenarios`` prints the registry),
+    ``--scale`` the sizing preset, ``--seed`` the RNG seed, ``--set
+    key=value`` overrides spec fields or sweep axes (repeatable; needs a
+    single selected scenario), ``--jobs`` the worker-process count (1 =
+    serial, 0 = one per core; figure data is byte-identical at any
+    level; with ``--all`` one pool is shared by every figure), ``--json
+    PATH`` dumps machine-readable results.  Reference:
+    docs/EXPERIMENTS.md and docs/SCENARIOS.md.
     """
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--figure", choices=sorted(ALL_EXPERIMENTS), default=None)
+    parser.add_argument(
+        "--scenario",
+        choices=list_scenarios(),
+        default=None,
+        help="run any registered scenario (see --list-scenarios)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print every registered scenario and exit",
+    )
     parser.add_argument("--all", action="store_true")
     parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        metavar="KEY=VALUE",
+        default=[],
+        help="override a sweep axis or (sub-)spec field of the selected "
+        "scenario, e.g. --set mtbf_ms=1000,4000 or --set faults.lease_ms=500 "
+        "(repeatable; requires --scenario or --figure)",
+    )
     parser.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker processes for independent experiment cells "
-        "(1 = serial, 0 = one per CPU core; results are byte-identical)",
+        "(1 = serial, 0 = one per CPU core; results are byte-identical; "
+        "with --all the pool is shared across figures)",
     )
     parser.add_argument(
         "--json",
@@ -1179,13 +180,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the figure data (machine-readable) to this file",
     )
     args = parser.parse_args(argv)
-    chosen = sorted(ALL_EXPERIMENTS) if args.all else [args.figure or "fig5a"]
+
+    if args.list_scenarios:
+        width = max(len(name) for name in list_scenarios())
+        for name in list_scenarios():
+            spec = get_scenario(name)
+            marker = "*" if name in ALL_EXPERIMENTS else " "
+            print(f"{marker} {name:<{width}}  {spec.description or spec.title}")
+        print("\n(* = part of --all; others run via --scenario NAME)")
+        return 0
+
+    selectors = sum(bool(s) for s in (args.scenario, args.all, args.figure))
+    if selectors > 1:
+        parser.error("pick one of --scenario, --figure or --all")
+    if args.scenario:
+        chosen = [args.scenario]
+    elif args.all:
+        chosen = sorted(ALL_EXPERIMENTS)
+    else:
+        chosen = [args.figure or "fig5a"]
+    if args.overrides and len(chosen) != 1:
+        parser.error("--set requires a single scenario (--scenario or --figure)")
+
     results: Dict[str, Any] = {}
-    for name in chosen:
-        data = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed, jobs=args.jobs)
-        results[name] = data
-        print(render(name, data))
-        print()
+    try:
+        with CellPool(args.jobs) as pool:
+            # Expand and enqueue every chosen scenario up front: cells
+            # stream through one shared pool, so workers never idle at a
+            # figure boundary waiting for a straggler cell.
+            plans = []
+            for name in chosen:
+                spec = prepare_scenario(
+                    name, scale=args.scale, seed=args.seed,
+                    overrides=args.overrides,
+                )
+                cells = expand(spec)
+                plans.append((name, spec, cells, pool.submit(cells)))
+            for name, spec, cells, handles in plans:
+                data = assemble_scenario(spec, cells, pool.gather(handles))
+                results[name] = data
+                print(render_scenario(spec, data))
+                print()
+    except ScenarioError as error:
+        parser.error(str(error))
     if args.json:
         payload = {
             "scale": args.scale,
@@ -1196,51 +233,6 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
     return 0
-
-
-def render(name: str, data) -> str:
-    """Human-readable rendering for any experiment's result."""
-    if name == "fig5a":
-        return _render_fig5a(data)
-    if name == "fig5b":
-        return _render_curve("Fig 5b — game latency vs throughput (thr/s, ms)", data)
-    if name == "fig6a":
-        return _render_fig5a(data).replace("Fig 5a — game", "Fig 6a — TPC-C")
-    if name == "fig6b":
-        return _render_curve("Fig 6b — TPC-C latency vs throughput (txn/s, ms)", data)
-    if name == "fig7":
-        lines = ["Fig 7 — elastic vs static (mean latency per setup)", ""]
-        for setup, run in data.items():
-            values = [v for _t, v in run["latency_series"]]
-            lines.append(
-                f"  {setup:>8}: mean={mean(values):6.2f} ms  "
-                f"peak={max(values) if values else 0:6.2f} ms  "
-                f"violations={run['sla'].violation_pct:5.1f}%"
-            )
-        return "\n".join(lines)
-    if name == "table1":
-        return _render_table1(data)
-    if name == "fig8":
-        lines = ["Fig 8 — throughput while migrating Room contexts", ""]
-        for label, points in data.items():
-            values = [v for _t, v in points]
-            steady = mean(values[:4]) if len(values) >= 4 else mean(values)
-            dip = min(values) if values else 0.0
-            lines.append(f"  {label:>12}: steady={steady:7.1f}/s  dip={dip:7.1f}/s")
-        return "\n".join(lines)
-    if name == "fig9":
-        return _render_fig9(data)
-    if name == "fig10":
-        return _render_fig10(data)
-    if name == "fig11":
-        return _render_fig11(data)
-    if name == "ablation":
-        return format_table(
-            "Ablation — chain release (TPC-C, AEON_SO, 4 servers)",
-            ["mode", "events/s"],
-            [[k, round(v, 1)] for k, v in data.items()],
-        )
-    return repr(data)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -46,6 +46,7 @@ __all__ = [
     "execute_cell",
     "resolve_jobs",
     "run_cells",
+    "CellPool",
 ]
 
 #: The five measured systems, in the paper's legend order.
@@ -187,8 +188,9 @@ class Cell:
       resolved by :func:`execute_cell` *inside the worker*, so payloads
       stay picklable under both fork and spawn start methods.
     * ``kwargs`` — keyword arguments for ``fn``; must be picklable
-      builtins (strings/numbers), typically ``system``/``scale``/
-      ``seed`` knobs.
+      data (strings/numbers, or frozen spec dataclasses like
+      :class:`~repro.harness.scenarios.ScenarioSpec`), typically
+      ``system``/``scale``/``seed`` knobs plus the owning spec.
 
     The body must be deterministic given its kwargs (fresh
     :class:`~repro.sim.kernel.Simulator`, seeded
@@ -232,7 +234,9 @@ def resolve_jobs(jobs: int) -> int:
     return jobs
 
 
-def run_cells(cells: Sequence[Cell], jobs: int = 1) -> List[CellResult]:
+def run_cells(
+    cells: Sequence[Cell], jobs: int = 1, pool: Optional["CellPool"] = None
+) -> List[CellResult]:
     """Execute ``cells`` and return their results *in cell order*.
 
     ``jobs=1`` runs serially in-process (no pool, no pickling — the
@@ -241,13 +245,108 @@ def run_cells(cells: Sequence[Cell], jobs: int = 1) -> List[CellResult]:
     workers (``jobs=0`` = one per core); each worker runs whole cells,
     and results are reassembled in submission order, so figure data is
     byte-identical to the serial path regardless of completion order.
-    See docs/EXPERIMENTS.md for per-figure ``--jobs`` guidance.
+    Passing a :class:`CellPool` instead shares one long-lived pool (and
+    its duplicate-cell cache) across many ``run_cells`` calls — the
+    ``--all`` streaming path.  See docs/EXPERIMENTS.md for per-figure
+    ``--jobs`` guidance.
     """
+    if pool is not None:
+        return pool.gather(pool.submit(cells))
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(cells) <= 1:
         return [execute_cell(cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-        return list(pool.map(execute_cell, cells, chunksize=1))
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool_:
+        return list(pool_.map(execute_cell, cells, chunksize=1))
+
+
+class _LazyCell:
+    """Serial-mode pool handle: runs its cell on first ``result()`` call."""
+
+    __slots__ = ("_cell", "_result")
+
+    def __init__(self, cell: Cell) -> None:
+        self._cell = cell
+        self._result: Optional[CellResult] = None
+
+    def result(self) -> CellResult:
+        if self._result is None:
+            self._result = execute_cell(self._cell)
+        return self._result
+
+
+class CellPool:
+    """One worker pool shared by every scenario of an ``--all`` run.
+
+    Historically each figure ran its cells through its own
+    ``run_cells`` batch, so worker processes idled at every figure
+    boundary while the last straggler cell finished.  A ``CellPool``
+    instead accepts *all* figures' cells up front (:meth:`submit`
+    returns per-cell handles immediately), streams results back as
+    cells complete, and :meth:`gather` blocks only for the cells a
+    figure actually needs — in cell order, so assembled figure data is
+    byte-identical to the per-figure batches.
+
+    Identical cells (same ``fn`` and kwargs — e.g. the four elastic
+    setups fig7 and table1 share) are executed **once** and their result
+    is re-keyed for every requester; cell bodies are deterministic
+    functions of their kwargs, so this is invisible in the data.
+
+    ``jobs=1`` degrades to lazy in-process execution at gather time
+    (the exact historical serial order); ``jobs>1``/``0`` uses a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Use as a context
+    manager or call :meth:`close`.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._executor = (
+            ProcessPoolExecutor(max_workers=self.jobs) if self.jobs > 1 else None
+        )
+        self._cache: Dict[tuple, Any] = {}
+
+    @staticmethod
+    def _dedup_key(cell: Cell) -> tuple:
+        return (cell.fn, tuple(sorted((k, repr(v)) for k, v in cell.kwargs.items())))
+
+    def submit(self, cells: Sequence[Cell]) -> List[Tuple[Cell, Any]]:
+        """Enqueue ``cells``; returns ``(cell, handle)`` pairs for :meth:`gather`."""
+        handles = []
+        for cell in cells:
+            key = self._dedup_key(cell)
+            handle = self._cache.get(key)
+            if handle is None:
+                if self._executor is None:
+                    handle = _LazyCell(cell)
+                else:
+                    handle = self._executor.submit(execute_cell, cell)
+                self._cache[key] = handle
+            handles.append((cell, handle))
+        return handles
+
+    def gather(self, handles: Sequence[Tuple[Cell, Any]]) -> List[CellResult]:
+        """Collect the handles' results, re-keyed per requesting cell,
+        in submission (= cell) order."""
+        return [
+            CellResult(key=cell.key, value=handle.result().value)
+            for cell, handle in handles
+        ]
+
+    def close(self) -> None:
+        """Shut the worker pool down.
+
+        Joins cells already running but cancels the still-queued ones —
+        when one cell of an ``--all`` run fails, the error should not
+        wait behind minutes of queued elastic simulations.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "CellPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def measure(

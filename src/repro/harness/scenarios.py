@@ -1,0 +1,2061 @@
+"""Declarative scenario API: specs, a registry, and composable sweeps.
+
+Every experiment in this repository — the paper's figures and anything
+you invent — is described by a frozen, picklable :class:`ScenarioSpec`:
+the application (:attr:`~ScenarioSpec.app`), the systems under test,
+the cluster shape, the workload, the fault schedule, the sizing
+(scale/seed/duration) and the metrics/output shape.  The engine turns a
+spec into results in three steps:
+
+* :func:`expand` enumerates the spec's sweep axes (systems × server
+  counts × seeds × user-declared axes) into independent
+  :class:`~repro.harness.runner.Cell`\\ s;
+* :func:`build_scenario` (via the :func:`run_point` cell body) wires a
+  testbed, application, clients and fault machinery from the spec and
+  runs one sweep point;
+* :func:`run_scenario` executes the cells (serially, across worker
+  processes, or on a shared :class:`~repro.harness.runner.CellPool`)
+  and assembles/renders the figure data keyed off the spec's declared
+  output shape.
+
+Scenarios register under a name with the :func:`scenario` decorator;
+``--scenario NAME`` / ``--list-scenarios`` / ``--set key=value`` on the
+CLI (``python -m repro.harness.experiments``) drive any of them.  All
+eleven legacy figures are registered specs — their ``figN()`` wrappers
+in :mod:`repro.harness.experiments` are thin aliases and their figure
+JSON is byte-identical to the pre-spec implementations (pinned by
+``tests/test_scenarios.py`` against ``tests/data/``).
+
+Authoring guide (a new scenario in under 20 lines): docs/SCENARIOS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..apps.game import GameConfig, Room, build_game
+from ..apps.tpcc import TpccConfig, TpccWorkload, build_tpcc
+from ..core.costs import DEFAULT_COSTS
+from ..core.runtime import FAILED_TAG
+from ..elasticity import CloudStorage, EManager, MigrationCoordinator, SLAPolicy
+from ..faults import (
+    FailureDetector,
+    FaultInjector,
+    FaultSchedule,
+    ServerCrash,
+    random_churn,
+)
+from ..sim.cluster import INSTANCE_TYPES, M1_SMALL, M3_LARGE, Server
+from ..sim.metrics import mean, percentile
+from ..workloads.generators import ClosedLoopClients, DynamicClients, RampProfile
+from ..workloads.sla import availability_slo, sla_report
+from .report import format_table
+from .runner import Cell, SYSTEMS, make_testbed, measure, run_cells, run_game
+
+#: Dotted-path prefix for this module's cell bodies (see Cell.fn).
+_SCN = "repro.harness.scenarios"
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "GameSpec",
+    "TpccSpec",
+    "WorkloadSpec",
+    "FaultSpec",
+    "ElasticSpec",
+    "ScenarioSpec",
+    "ScenarioError",
+    "scenario",
+    "register",
+    "get_scenario",
+    "list_scenarios",
+    "REGISTRY",
+    "sweep_axes",
+    "expand",
+    "apply_overrides",
+    "build_scenario",
+    "run_point",
+    "run_scenario",
+    "assemble_scenario",
+    "render_scenario",
+    "fig10_phases",
+]
+
+
+# ----------------------------------------------------------------------
+# Sizing presets
+# ----------------------------------------------------------------------
+@dataclass
+class Scale:
+    """Experiment sizing knobs."""
+
+    game_duration_ms: float
+    game_warmup_ms: float
+    game_clients_per_server: int
+    tpcc_duration_ms: float
+    tpcc_warmup_ms: float
+    tpcc_clients_per_server: int
+    server_counts: Tuple[int, ...]
+    client_sweep: Tuple[int, ...]
+    elastic_duration_ms: float
+    migration_duration_ms: float
+    emanager_batch: int
+    fault_duration_ms: float = 16000.0
+    fault_clients: int = 48
+    fault_checkpoint_ms: float = 1500.0
+    # churn (long-horizon availability) sizing.
+    churn_duration_ms: float = 30000.0
+    churn_clients: int = 40
+    churn_mtbf_ms: float = 3000.0
+    churn_start_ms: float = 5000.0
+    churn_checkpoint_ms: float = 1500.0
+    churn_restart_ms: Tuple[float, float] = (1500.0, 4000.0)
+
+
+SCALES: Dict[str, Scale] = {
+    "quick": Scale(
+        game_duration_ms=1200.0,
+        game_warmup_ms=400.0,
+        game_clients_per_server=60,
+        tpcc_duration_ms=8000.0,
+        tpcc_warmup_ms=2500.0,
+        tpcc_clients_per_server=12,
+        server_counts=(2, 4, 8),
+        client_sweep=(8, 32, 96, 192),
+        elastic_duration_ms=40000.0,
+        migration_duration_ms=12000.0,
+        emanager_batch=40,
+        fault_duration_ms=16000.0,
+        fault_clients=48,
+        fault_checkpoint_ms=1500.0,
+        churn_duration_ms=30000.0,
+        churn_clients=40,
+        churn_mtbf_ms=3000.0,
+        churn_start_ms=5000.0,
+        churn_checkpoint_ms=1500.0,
+        churn_restart_ms=(1500.0, 4000.0),
+    ),
+    "full": Scale(
+        game_duration_ms=2500.0,
+        game_warmup_ms=700.0,
+        game_clients_per_server=110,
+        tpcc_duration_ms=15000.0,
+        tpcc_warmup_ms=4000.0,
+        tpcc_clients_per_server=16,
+        server_counts=(2, 4, 8, 12, 16),
+        client_sweep=(8, 24, 64, 128, 256, 512),
+        elastic_duration_ms=60000.0,
+        migration_duration_ms=20000.0,
+        emanager_batch=120,
+        fault_duration_ms=40000.0,
+        fault_clients=120,
+        fault_checkpoint_ms=2000.0,
+        churn_duration_ms=120000.0,
+        churn_clients=96,
+        churn_mtbf_ms=12000.0,
+        churn_start_ms=10000.0,
+        churn_checkpoint_ms=2000.0,
+        churn_restart_ms=(2000.0, 8000.0),
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Spec dataclasses (frozen, picklable: they travel inside Cell kwargs)
+# ----------------------------------------------------------------------
+class ScenarioError(ValueError):
+    """Raised for invalid scenario names, axes or ``--set`` overrides."""
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """Game-application shape (see :class:`repro.apps.game.GameConfig`)."""
+
+    rooms: int = 0  # 0 -> one room per server
+    players_per_room: int = 8
+    shared_items_per_room: int = 4
+    #: "uniform" | "geometric" — client traffic across rooms; geometric
+    #: is the 0.5**i hot/cold skew of the churn experiments (honored by
+    #: the fault and elastic paths).
+    room_weights: str = "uniform"
+
+
+@dataclass(frozen=True)
+class TpccSpec:
+    """TPC-C application shape (see :class:`repro.apps.tpcc.TpccConfig`)."""
+
+    districts: int = 0  # 0 -> one district per server
+    customers_per_district: int = 10
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One client population: closed-loop or profile-following ramp."""
+
+    kind: str = "closed_loop"  # "closed_loop" | "ramp"
+    think_ms: float = 2.0
+    clients: int = 0  # absolute population; 0 -> clients_per_server
+    clients_per_server: int = 0  # 0 -> the scale preset's default
+    max_retries: int = 0
+    name_prefix: str = "client"
+    # ramp (DynamicClients) knobs:
+    profile: str = "normal_peak"  # "normal_peak" | "diurnal"
+    machines: int = 8
+    min_per_machine: int = 1
+    max_per_machine: int = 16
+    cycles: int = 2  # diurnal day/night cycles over the run
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault schedule + detection/recovery/SLO knobs for a scenario.
+
+    ``kind="crash"`` is the fig10 single mid-run fail-stop (placed by
+    run fractions); ``kind="churn"`` is the fig11 sustained
+    crash/restart churn (exponential arrivals).  Zero-valued sizing
+    fields fall back to the scale preset.
+    """
+
+    kind: str = "none"  # "none" | "crash" | "churn"
+    heartbeat_ms: float = 200.0
+    lease_ms: float = 650.0
+    check_ms: float = 100.0
+    checkpoint_ms: float = 0.0  # 0 -> scale default
+    checkpoint_mode: str = "full"  # "full" | "delta"
+    # crash placement (fractions of the run):
+    crash_frac: float = 0.35
+    restart_frac: float = 0.30
+    victim: int = 1  # index into the server fleet
+    # churn arrivals:
+    mtbf_ms: float = 0.0  # 0 -> scale default
+    restart_ms: Tuple[float, float] = (0.0, 0.0)  # (0,0) -> scale default
+    churn_start_ms: float = 0.0  # 0 -> scale default
+    # windowed availability SLO (churn only):
+    window_ms: float = 500.0
+    goodput_fraction: float = 0.85
+    p99_multiplier: float = 3.0
+    p99_floor_ms: float = 20.0
+
+
+@dataclass(frozen=True)
+class ElasticSpec:
+    """eManager + SLA policy knobs for elastic scenarios."""
+
+    sla_ms: float = 10.0
+    scale_out_step: int = 4
+    min_servers: int = 4
+    max_servers: int = 40
+    scale_in_fraction: float = 0.25
+    headroom: float = 0.45
+    boot_delay_ms: float = 1500.0
+    report_interval_ms: float = 1000.0
+    max_concurrent_migrations: int = 8
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment: what to deploy, sweep and measure.
+
+    The spec is frozen and picklable — :func:`expand` embeds it in each
+    generated :class:`~repro.harness.runner.Cell`, so worker processes
+    rebuild the exact deployment from data alone.  Field groups:
+
+    * **deployment** — ``app`` ("game" | "tpcc" | "mixed"), ``systems``,
+      ``servers`` (fixed fleet) or ``server_counts`` (sweep; empty =
+      the scale preset's counts), ``instance``, ``game``/``tpcc`` shape;
+    * **workload** — ``workload`` (plus ``tpcc_workload`` for the mixed
+      co-tenant), ``duration_ms``/``warmup_ms``/``drain_ms`` (0 = the
+      scale preset's sizing);
+    * **faults / elasticity** — ``faults`` (:class:`FaultSpec`),
+      ``elastic`` (:class:`ElasticSpec` or ``None``);
+    * **sweep** — ``seeds``, ``axes`` (extra named axes; a value of
+      ``()`` pulls the scale default, e.g. ``("clients", ())``),
+      ``points`` (explicit sweep points overriding the cross-product);
+    * **output** — ``metrics`` (RunResult attributes), ``output`` (the
+      assembly/render shape), optional custom ``cell`` / ``assemble`` /
+      ``render`` dotted ``"module:function"`` hooks.
+
+    Axis names (and ``--set`` keys) resolve against spec fields, then
+    against the sub-spec fields (workload, faults, elastic, game, tpcc)
+    — e.g. an axis ``("mtbf_ms", (1500, 3000))`` sweeps
+    ``faults.mtbf_ms``.  See docs/SCENARIOS.md for the full reference.
+    """
+
+    name: str
+    title: str
+    description: str = ""
+    # Deployment.
+    app: str = "game"
+    systems: Tuple[str, ...] = SYSTEMS
+    servers: int = 0
+    server_counts: Tuple[int, ...] = ()
+    instance: str = ""  # "" -> m3.large
+    game: GameSpec = GameSpec()
+    tpcc: TpccSpec = TpccSpec()
+    # Workload + measurement window.
+    workload: WorkloadSpec = WorkloadSpec()
+    tpcc_workload: WorkloadSpec = WorkloadSpec(
+        think_ms=5.0, name_prefix="tpcc-client"
+    )
+    duration_ms: float = 0.0
+    warmup_ms: float = 0.0
+    drain_ms: float = 0.0
+    # Faults / elasticity.
+    faults: FaultSpec = FaultSpec()
+    elastic: Optional[ElasticSpec] = None
+    # Sweep.
+    scale: str = "quick"
+    seeds: Tuple[int, ...] = (0,)
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    points: Tuple[Tuple[Tuple[str, Any], ...], ...] = ()
+    # Output.
+    metrics: Tuple[str, ...] = ("throughput_per_s",)
+    output: str = "curve"
+    x_name: str = "servers"
+    cell: str = ""
+    assemble: str = ""
+    render: str = ""
+
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with ``changes`` applied (sugar over dataclasses.replace)."""
+        return replace(self, **changes)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register ``spec`` under its name; returns it.  Names are unique."""
+    if spec.name in REGISTRY:
+        raise ScenarioError(f"scenario {spec.name!r} already registered")
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def scenario(builder: Callable[[], ScenarioSpec]) -> Callable[[], ScenarioSpec]:
+    """Decorator: register the :class:`ScenarioSpec` the builder returns.
+
+    The builder runs once at import time; keep it a pure spec literal::
+
+        @scenario
+        def my_sweep() -> ScenarioSpec:
+            return ScenarioSpec(name="my_sweep", ...)
+    """
+    register(builder())
+    return builder
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered spec by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; pick from {', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def list_scenarios() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(REGISTRY)
+
+
+def _resolve(dotted: str) -> Callable:
+    """Resolve a ``"module:function"`` hook (same contract as Cell.fn)."""
+    import importlib
+
+    module_name, _, fn_name = dotted.partition(":")
+    return getattr(importlib.import_module(module_name), fn_name)
+
+
+# ----------------------------------------------------------------------
+# Sweep expansion
+# ----------------------------------------------------------------------
+#: Axes whose empty value tuple pulls a per-scale default.
+_SCALE_AXIS_DEFAULTS: Dict[str, str] = {
+    "n_servers": "server_counts",
+    "clients": "client_sweep",
+}
+
+
+def _axis_values(name: str, values: Tuple[Any, ...], sizing: Scale) -> Tuple:
+    if values:
+        return tuple(values)
+    attr = _SCALE_AXIS_DEFAULTS.get(name)
+    if attr is None:
+        raise ScenarioError(f"axis {name!r} has no values and no scale default")
+    return tuple(getattr(sizing, attr))
+
+
+def _validate_seeds(spec: ScenarioSpec) -> None:
+    """Reject multi-seed sweeps the assembly cannot combine.
+
+    Only curve assembly knows how to combine seed replicas (it averages
+    the metric per point); everywhere else a swept seed axis would
+    silently corrupt keyed assembly — and custom-cell / explicit-points
+    scenarios pin their own seed handling (fig7/table1 shard via the
+    rep axis).  Fail fast instead of dropping ``seeds[1:]``.
+    """
+    if len(spec.seeds) <= 1:
+        return
+    if spec.cell:
+        raise ScenarioError(
+            f"scenario {spec.name!r} does not support multi-seed sweeps; "
+            f"shard repetitions via its axes instead (e.g. --set rep=0,1,2)"
+        )
+    if spec.points or spec.output != "curve":
+        raise ScenarioError(
+            f"scenario {spec.name!r} (output {spec.output!r}) does not "
+            f"support multi-seed sweeps; only 'curve' outputs average "
+            f"across seeds"
+        )
+
+
+def sweep_axes(spec: ScenarioSpec) -> List[Tuple[str, Tuple]]:
+    """The spec's ordered sweep axes: ``[(axis_name, values), ...]``.
+
+    Generic (``spec.cell == ""``) scenarios sweep ``system`` first, then
+    ``n_servers`` when no fixed fleet is set, then the user-declared
+    ``spec.axes``, then ``seed`` when more than one seed is given.
+    Custom-cell scenarios sweep exactly ``spec.axes``.
+    """
+    sizing = SCALES[spec.scale]
+    _validate_seeds(spec)
+    axes: List[Tuple[str, Tuple]] = []
+    if not spec.cell:
+        axes.append(("system", tuple(spec.systems)))
+        if spec.servers == 0:
+            axes.append(("n_servers", _axis_values("n_servers", spec.server_counts, sizing)))
+    for name, values in spec.axes:
+        axes.append((name, _axis_values(name, tuple(values), sizing)))
+    if not spec.cell and len(spec.seeds) > 1:
+        axes.append(("seed", tuple(spec.seeds)))
+    return axes
+
+
+def _sweep_points(spec: ScenarioSpec) -> List[Tuple[Tuple[str, Any], ...]]:
+    """All sweep points as ``((axis, value), ...)`` tuples, in cell order."""
+    if spec.points:
+        return [tuple(point) for point in spec.points]
+    points: List[Tuple[Tuple[str, Any], ...]] = [()]
+    for name, values in sweep_axes(spec):
+        points = [point + ((name, value),) for point in points for value in values]
+    return points
+
+
+def expand(spec: ScenarioSpec) -> List[Cell]:
+    """Enumerate the spec's sweep into :class:`Cell`\\ s (cell order = data order).
+
+    Generic scenarios produce :func:`run_point` cells carrying the spec
+    itself; custom-cell scenarios produce ``spec.cell`` cells whose
+    kwargs are the axis values plus ``scale``/``seed`` (matching the
+    historical per-figure cell functions byte for byte).
+    """
+    _validate_seeds(spec)
+    cells: List[Cell] = []
+    for point in _sweep_points(spec):
+        key = tuple(value for _name, value in point)
+        if spec.cell:
+            kwargs: Dict[str, Any] = {name: value for name, value in point}
+            kwargs["scale"] = spec.scale
+            kwargs["seed"] = spec.seeds[0]
+            cells.append(Cell(key, spec.cell, kwargs))
+        else:
+            kwargs = {"spec": spec}
+            kwargs.update({name: value for name, value in point})
+            cells.append(Cell(key, f"{_SCN}:run_point", kwargs))
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Overrides (--set key=value) and axis-value folding
+# ----------------------------------------------------------------------
+#: Sub-specs searched (in order) when folding a bare key into the spec.
+_SUBSPEC_FIELDS = ("workload", "tpcc_workload", "faults", "elastic", "game", "tpcc")
+
+#: Spec fields that are tuples (a scalar --set value is wrapped).
+_TUPLE_FIELDS = {"systems", "seeds", "server_counts", "metrics"}
+
+#: Spec fields --set may not touch (identity/plumbing).
+_PROTECTED_FIELDS = {"name", "cell", "assemble", "render", "axes", "points"}
+
+
+def _spec_field_names(obj: Any) -> Tuple[str, ...]:
+    return tuple(f.name for f in dataclasses.fields(obj))
+
+
+def _set_key(spec: ScenarioSpec, key: str, value: Any) -> ScenarioSpec:
+    """Fold one ``key=value`` into the spec (axis values use
+    :func:`apply_overrides`; this handles spec/sub-spec fields)."""
+    if "." in key:
+        sub, _, inner = key.partition(".")
+        if sub not in _SUBSPEC_FIELDS:
+            raise ScenarioError(
+                f"unknown sub-spec {sub!r}; pick from {', '.join(_SUBSPEC_FIELDS)}"
+            )
+        obj = getattr(spec, sub)
+        if obj is None:
+            raise ScenarioError(f"scenario {spec.name!r} has no {sub} spec to set")
+        if inner not in _spec_field_names(obj):
+            raise ScenarioError(
+                f"unknown field {inner!r} of {sub}; pick from "
+                f"{', '.join(_spec_field_names(obj))}"
+            )
+        return replace(spec, **{sub: replace(obj, **{inner: value})})
+    if key in _PROTECTED_FIELDS:
+        raise ScenarioError(f"field {key!r} cannot be overridden")
+    if key in _spec_field_names(spec):
+        if key in _TUPLE_FIELDS and not isinstance(value, tuple):
+            value = (value,)
+        return replace(spec, **{key: value})
+    for sub in _SUBSPEC_FIELDS:
+        obj = getattr(spec, sub)
+        if obj is not None and key in _spec_field_names(obj):
+            return replace(spec, **{sub: replace(obj, **{key: value})})
+    valid = sorted(
+        set(_spec_field_names(spec)) - _PROTECTED_FIELDS
+        | {
+            f"{sub}.{name}"
+            for sub in _SUBSPEC_FIELDS
+            if getattr(spec, sub, None) is not None
+            for name in _spec_field_names(getattr(spec, sub))
+        }
+    )
+    raise ScenarioError(
+        f"unknown scenario key {key!r} (axes: "
+        f"{', '.join(name for name, _v in spec.axes) or 'none'}; fields include: "
+        f"{', '.join(valid[:12])}, ...)"
+    )
+
+
+def _parse_value(text: str) -> Any:
+    """Parse one ``--set`` value: literals, with commas making a tuple."""
+    import ast
+
+    def one(part: str) -> Any:
+        part = part.strip()
+        try:
+            return ast.literal_eval(part)
+        except (ValueError, SyntaxError):
+            return part
+
+    if "," in text:
+        return tuple(one(part) for part in text.split(",") if part.strip() != "")
+    return one(text)
+
+
+def apply_overrides(
+    spec: ScenarioSpec, assignments: Sequence[str]
+) -> ScenarioSpec:
+    """Apply ``--set key=value`` strings to a spec, returning the new spec.
+
+    ``key`` may name a sweep axis (replacing its values), a spec field
+    (``duration_ms``, ``systems``, ...), a sub-spec field searched in
+    order (``mtbf_ms`` → ``faults.mtbf_ms``), or a dotted sub-spec path
+    (``workload.think_ms``).  Unknown keys raise :class:`ScenarioError`.
+    """
+    for raw in assignments:
+        key, sep, text = raw.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ScenarioError(f"--set expects key=value, got {raw!r}")
+        value = _parse_value(text)
+        axis_names = [name for name, _values in spec.axes]
+        if key in axis_names:
+            values = value if isinstance(value, tuple) else (value,)
+            spec = replace(
+                spec,
+                axes=tuple(
+                    (name, values if name == key else old)
+                    for name, old in spec.axes
+                ),
+            )
+        else:
+            spec = _set_key(spec, key, value)
+    return spec
+
+
+def _fold_point(spec: ScenarioSpec, point: Dict[str, Any]) -> ScenarioSpec:
+    """Fold extra axis values (beyond system/n_servers/seed) into the spec."""
+    for key, value in point.items():
+        spec = _set_key(spec, key, value)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Generic cell body: build + run + measure one sweep point
+# ----------------------------------------------------------------------
+def _game_config(game: GameSpec, n_servers: int) -> GameConfig:
+    return GameConfig(
+        rooms=game.rooms or n_servers,
+        players_per_room=game.players_per_room,
+        shared_items_per_room=game.shared_items_per_room,
+    )
+
+
+def _tpcc_config(tpcc: TpccSpec, n_servers: int) -> TpccConfig:
+    return TpccConfig(
+        districts=tpcc.districts or n_servers,
+        customers_per_district=tpcc.customers_per_district,
+    )
+
+
+def _geometric_weights(n_rooms: int) -> List[float]:
+    """Geometric hot/cold room skew (room 0 hottest).
+
+    Skewed write traffic is what incremental checkpoints exploit: cold
+    rooms' subtrees go unchanged between intervals and are skipped.
+    """
+    return [0.5**i for i in range(n_rooms)]
+
+
+def _metric_values(metrics: Tuple[str, ...], result: Any) -> Any:
+    values = tuple(getattr(result, name) for name in metrics)
+    return values[0] if len(values) == 1 else values
+
+
+def run_point(spec: ScenarioSpec, **point: Any) -> Any:
+    """Run one sweep point of a generic scenario (the shared cell body).
+
+    Reserved point keys: ``system``, ``n_servers``, ``seed``.  Any other
+    key is folded into the matching spec/sub-spec field (that is how
+    axes like ``clients`` or ``mtbf_ms`` parameterize the run).  Returns
+    the point's plain-data result (metrics value(s) or a run dict),
+    exactly as the historical per-figure cell functions did.
+    """
+    system = str(point.pop("system", spec.systems[0] if spec.systems else "aeon"))
+    n_servers = int(point.pop("n_servers", 0) or spec.servers or 1)
+    seed = int(point.pop("seed", spec.seeds[0]))
+    if point:
+        spec = _fold_point(spec, point)
+    sizing = SCALES[spec.scale]
+    built = build_scenario(spec, sizing, system, n_servers, seed)
+    return built()
+
+
+def build_scenario(
+    spec: ScenarioSpec, sizing: Scale, system: str, n_servers: int, seed: int
+) -> Callable[[], Any]:
+    """Wire one sweep point from the spec; returns its runner thunk.
+
+    Dispatches on the spec's fault/elastic/app declarations to the
+    matching builder — each builds testbed + app + clients (+ fault or
+    elasticity machinery), runs the simulation and returns plain data.
+    """
+    if spec.faults.kind != "none":
+        return lambda: _fault_run(spec, sizing, system, n_servers, seed)
+    if spec.elastic is not None:
+        return lambda: _elastic_run(spec, sizing, system, n_servers, seed)
+    if spec.app == "game":
+        return lambda: _game_point(spec, sizing, system, n_servers, seed)
+    if spec.app == "tpcc":
+        return lambda: _tpcc_point(spec, sizing, system, n_servers, seed)
+    if spec.app == "mixed":
+        return lambda: _mixed_run(spec, sizing, system, n_servers, seed)
+    raise ScenarioError(f"unknown app {spec.app!r}; pick game, tpcc or mixed")
+
+
+def _game_point(
+    spec: ScenarioSpec, sizing: Scale, system: str, n_servers: int, seed: int
+) -> Any:
+    """Closed-loop game run → metric value(s) (the fig5a/fig5b wiring)."""
+    wl = spec.workload
+    n_clients = wl.clients or (
+        (wl.clients_per_server or sizing.game_clients_per_server) * n_servers
+    )
+    result, _tb, _app = run_game(
+        system,
+        n_servers,
+        n_clients=n_clients,
+        duration_ms=spec.duration_ms or sizing.game_duration_ms,
+        warmup_ms=spec.warmup_ms or sizing.game_warmup_ms,
+        think_ms=wl.think_ms,
+        config=_game_config(spec.game, n_servers),
+        seed=seed,
+    )
+    return _metric_values(spec.metrics, result)
+
+
+def _tpcc_run(
+    system: str,
+    n_servers: int,
+    n_clients: int,
+    duration_ms: float,
+    warmup_ms: float,
+    seed: int = 0,
+    think_ms: float = 5.0,
+    config: Optional[TpccConfig] = None,
+):
+    """Build + drive + measure one TPC-C deployment (shared cell core)."""
+    testbed = make_testbed(system, n_servers, seed=seed)
+    config = config or TpccConfig(districts=n_servers, customers_per_district=10)
+    deployment = build_tpcc(
+        testbed.runtime,
+        config,
+        multi_ownership=(system == "aeon"),
+        servers=testbed.servers,
+        colocate=system in ("aeon", "aeon_so", "eventwave"),
+    )
+    workload = TpccWorkload(deployment, system)
+    clients = ClosedLoopClients(
+        testbed.runtime,
+        workload.sample_op,
+        n_clients=n_clients,
+        think_ms=think_ms,
+        rng=testbed.rng,
+        stop_at_ms=duration_ms,
+    )
+    clients.start()
+    testbed.sim.run(until=duration_ms + 15000.0)
+    result = measure(system, testbed, n_clients, warmup_ms, duration_ms)
+    result.errors = len(clients.errors)
+    return result, testbed, deployment
+
+
+def _tpcc_point(
+    spec: ScenarioSpec, sizing: Scale, system: str, n_servers: int, seed: int
+) -> Any:
+    """Closed-loop TPC-C run → metric value(s) (the fig6a/fig6b wiring)."""
+    wl = spec.workload
+    n_clients = wl.clients or (
+        (wl.clients_per_server or sizing.tpcc_clients_per_server) * n_servers
+    )
+    result, _tb, _dep = _tpcc_run(
+        system,
+        n_servers,
+        n_clients=n_clients,
+        duration_ms=spec.duration_ms or sizing.tpcc_duration_ms,
+        warmup_ms=spec.warmup_ms or sizing.tpcc_warmup_ms,
+        seed=seed,
+        think_ms=wl.think_ms,
+        config=_tpcc_config(spec.tpcc, n_servers),
+    )
+    return _metric_values(spec.metrics, result)
+
+
+def _fault_run(
+    spec: ScenarioSpec, sizing: Scale, system: str, n_servers: int, seed: int
+) -> Dict[str, object]:
+    """Game + checkpoints + detector + faults → availability run dict.
+
+    ``faults.kind == "crash"`` reproduces the fig10 single mid-run
+    fail-stop timeline; ``"churn"`` reproduces the fig11 sustained
+    crash/restart churn scored against the windowed availability SLO.
+    The wiring (and the returned dicts) are byte-identical to the
+    historical ``fig10_run``/``fig11_run`` drivers.
+    """
+    f = spec.faults
+    if f.kind not in ("crash", "churn"):
+        raise ScenarioError(f"unknown fault kind {f.kind!r}")
+    churn = f.kind == "churn"
+    duration = spec.duration_ms or (
+        sizing.churn_duration_ms if churn else sizing.fault_duration_ms
+    )
+    testbed = make_testbed(system, n_servers, seed=seed)
+    runtime = testbed.runtime
+    config = _game_config(spec.game, n_servers)
+    app = build_game(runtime, config, system, servers=testbed.servers)
+    if spec.game.room_weights == "geometric":
+        app.set_room_weights(_geometric_weights(len(app.rooms)))
+
+    storage = CloudStorage(testbed.sim)
+    manager = EManager(runtime, storage, None, M3_LARGE, max_concurrent_migrations=8)
+    detector = FailureDetector(
+        testbed.sim,
+        testbed.network,
+        testbed.cluster,
+        heartbeat_interval_ms=f.heartbeat_ms,
+        lease_ms=f.lease_ms,
+        check_interval_ms=f.check_ms,
+    )
+    checkpoint_ms = f.checkpoint_ms or (
+        sizing.churn_checkpoint_ms if churn else sizing.fault_checkpoint_ms
+    )
+    manager.enable_fault_tolerance(
+        detector,
+        checkpoint_interval_ms=checkpoint_ms,
+        roots=[room.cid for room in app.rooms],
+        # Orleans has no global lock order: a subtree-locking snapshot
+        # deadlocks against its per-call turn locks, so it gets the
+        # per-grain (fuzzy) persistence real Orleans offers.
+        consistent_checkpoints=(system != "orleans"),
+        checkpoint_mode=f.checkpoint_mode,
+    )
+    detector.start()
+
+    if churn:
+        churn_start = f.churn_start_ms or sizing.churn_start_ms
+        restart_ms = f.restart_ms if f.restart_ms != (0.0, 0.0) else sizing.churn_restart_ms
+        schedule = random_churn(
+            [server.name for server in testbed.servers],
+            duration,
+            testbed.rng,
+            mean_time_between_crashes_ms=f.mtbf_ms or sizing.churn_mtbf_ms,
+            restart_delay_ms=restart_ms,
+            start_ms=churn_start,
+        )
+    else:
+        victim = testbed.servers[f.victim].name
+        crash_at = duration * f.crash_frac
+        restart_after = duration * f.restart_frac
+        schedule = FaultSchedule(
+            [ServerCrash(crash_at, victim, restart_after_ms=restart_after)]
+        )
+    injector = FaultInjector(
+        testbed.sim, testbed.network, testbed.cluster, schedule, rng=testbed.rng
+    )
+    injector.start()
+
+    wl = spec.workload
+    clients = ClosedLoopClients(
+        runtime,
+        app.sample_op,
+        n_clients=wl.clients
+        or (sizing.churn_clients if churn else sizing.fault_clients),
+        think_ms=wl.think_ms,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+        max_retries=wl.max_retries,
+    )
+    clients.start()
+    testbed.sim.run(until=duration + 3000.0)
+    detector.stop()
+    manager.stop()
+
+    goodput = runtime.latency.windowed_count(
+        f.window_ms, duration, exclude_tag=FAILED_TAG
+    )
+    p99 = runtime.latency.windowed_percentile(
+        99.0, f.window_ms, duration, exclude_tag=FAILED_TAG
+    )
+    if not churn:
+        return {
+            "system": system,
+            "duration_ms": duration,
+            "crash_at_ms": crash_at,
+            "restart_at_ms": crash_at + restart_after,
+            "victim": victim,
+            "goodput": goodput.points,
+            "p99": p99.points,
+            "events_failed": runtime.events_failed,
+            "client_errors": len(clients.errors),
+            "client_retries": clients.retries,
+            "detections": [
+                {
+                    "server": d.server,
+                    "detected_at_ms": d.detected_at_ms,
+                    "latency_ms": d.latency_ms,
+                }
+                for d in detector.detections
+            ],
+            "recoveries": manager.recovery_log,
+            "contexts_recovered": manager.contexts_recovered,
+            "checkpoints_taken": manager.checkpoints_taken,
+            "fault_log": injector.log,
+        }
+    slo = availability_slo(
+        goodput.points,
+        p99.points,
+        baseline_from_ms=churn_start * 0.3,
+        baseline_to_ms=churn_start,
+        eval_from_ms=churn_start,
+        eval_to_ms=duration,
+        # A window is available at >=85% of fault-free goodput with p99
+        # within 3x of baseline (20 ms floor): strict enough that the
+        # detection+recovery gap after each crash shows up, loose enough
+        # that steady-state noise does not.
+        goodput_fraction=f.goodput_fraction,
+        p99_multiplier=f.p99_multiplier,
+        p99_floor_ms=f.p99_floor_ms,
+    )
+    detect_latencies = [
+        d.latency_ms for d in detector.detections if d.latency_ms is not None
+    ]
+    return {
+        "system": system,
+        "checkpoint_mode": f.checkpoint_mode,
+        "duration_ms": duration,
+        "churn_start_ms": churn_start,
+        "crashes": len(schedule),
+        "goodput": goodput.points,
+        "p99": p99.points,
+        "slo": slo.as_dict(),
+        "detections": len(detector.detections),
+        "mean_detection_latency_ms": mean(detect_latencies),
+        "redeclarations": detector.redeclarations,
+        "recoveries": manager.recoveries,
+        "contexts_recovered": manager.contexts_recovered,
+        "contexts_restored_without_checkpoint": (
+            manager.contexts_restored_without_checkpoint
+        ),
+        "cache_invalidations": manager.cache_invalidations,
+        "events_failed": runtime.events_failed,
+        "client_errors": len(clients.errors),
+        "client_retries": clients.retries,
+        "checkpoints_taken": manager.checkpoints_taken,
+        "checkpoints_skipped": manager.checkpoints_skipped,
+        "checkpoint_bytes_written": manager.checkpoint_bytes_written,
+        "recovery_log": manager.recovery_log,
+        "fault_log": injector.log,
+    }
+
+
+def _ramp_profile(wl: WorkloadSpec, duration_ms: float) -> RampProfile:
+    if wl.profile == "diurnal":
+        return RampProfile.diurnal(
+            duration_ms,
+            machines=wl.machines,
+            min_per_machine=wl.min_per_machine,
+            max_per_machine=wl.max_per_machine,
+            cycles=wl.cycles,
+        )
+    if wl.profile == "normal_peak":
+        return RampProfile.normal_peak(
+            duration_ms,
+            machines=wl.machines,
+            min_per_machine=wl.min_per_machine,
+            max_per_machine=wl.max_per_machine,
+        )
+    raise ScenarioError(f"unknown ramp profile {wl.profile!r}")
+
+
+def _elastic_run(
+    spec: ScenarioSpec, sizing: Scale, system: str, n_servers: int, seed: int
+) -> Dict[str, object]:
+    """Elastic game run: eManager + SLA policy + profile-following load.
+
+    The generic counterpart of the fig7 ``_elastic_game_run`` cell for
+    spec-declared elastic scenarios (e.g. the diurnal wave): the fleet
+    starts at ``n_servers`` and the eManager grows/shrinks it against
+    ``spec.elastic``'s SLA policy while clients follow the workload's
+    ramp profile.
+    """
+    e = spec.elastic
+    wl = spec.workload
+    duration = spec.duration_ms or sizing.elastic_duration_ms
+    itype = INSTANCE_TYPES[spec.instance] if spec.instance else M3_LARGE
+    testbed = make_testbed(system, n_servers, instance_type=itype, seed=seed)
+    testbed.cluster.boot_delay_ms = e.boot_delay_ms
+    config = _game_config(spec.game, n_servers)
+    app = build_game(testbed.runtime, config, system, servers=testbed.servers)
+    if spec.game.room_weights == "geometric":
+        app.set_room_weights(_geometric_weights(len(app.rooms)))
+    storage = CloudStorage(testbed.sim)
+    policy = SLAPolicy(
+        sla_ms=e.sla_ms,
+        scale_out_step=e.scale_out_step,
+        min_servers=e.min_servers,
+        max_servers=e.max_servers,
+        scale_in_fraction=e.scale_in_fraction,
+        headroom=e.headroom,
+    )
+    manager = EManager(
+        testbed.runtime,
+        storage,
+        policy,
+        itype,
+        report_interval_ms=e.report_interval_ms,
+        max_concurrent_migrations=e.max_concurrent_migrations,
+    )
+    manager.start()
+    profile = _ramp_profile(wl, duration)
+    clients = DynamicClients(
+        testbed.runtime,
+        app.sample_op,
+        profile,
+        think_ms=wl.think_ms,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+    )
+    clients.start()
+    testbed.sim.run(until=duration + (spec.drain_ms or 5000.0))
+    manager.stop()
+    latency_series = testbed.runtime.latency.windowed_mean(1000.0, duration)
+    server_series = manager.server_count_series
+    avg_servers = server_series.mean_value()
+    report = sla_report(
+        spec.name, testbed.runtime.latency, e.sla_ms, avg_servers, since_ms=0.0
+    )
+    return {
+        "system": system,
+        "latency_series": latency_series.points,
+        "server_series": server_series.points,
+        "client_series": clients.active_series,
+        "sla": report,
+        "avg_servers": avg_servers,
+        "peak_servers": server_series.max_value(),
+        "peak_clients": profile.peak(),
+    }
+
+
+#: Tag sets splitting the mixed co-tenancy latency stream per app.
+GAME_TAGS = ("private", "shared", "readonly")
+TPCC_TAGS = ("new_order", "payment", "order_status", "delivery", "stock_level")
+
+
+def _mixed_run(
+    spec: ScenarioSpec, sizing: Scale, system: str, n_servers: int, seed: int
+) -> Dict[str, object]:
+    """Game + TPC-C co-tenants on one fleet → per-app and combined metrics.
+
+    Both applications deploy on the *same* servers and runtime; two
+    closed-loop client populations (with distinct RNG stream prefixes)
+    drive them concurrently.  Per-app numbers come from splitting the
+    shared latency stream by *top-level* operation tag; the combined
+    numbers count every completion, including TPC-C sub-transactions
+    (``new_order/sub``), so the per-app splits sum to at most the
+    combined count.
+    """
+    if system == "eventwave":
+        # EventWave sequences every event through the single root of ONE
+        # ownership tree; two co-tenant applications mean two roots
+        # ('castle' + 'warehouse'), which its runtime model rejects on
+        # every call.  Co-tenancy is simply not expressible there.
+        raise ScenarioError(
+            "mixed co-tenancy cannot run on 'eventwave': its runtime "
+            "requires exactly one root context, and two applications "
+            "create two ownership roots"
+        )
+    wl_game, wl_tpcc = spec.workload, spec.tpcc_workload
+    duration = spec.duration_ms or sizing.tpcc_duration_ms
+    warmup = spec.warmup_ms or sizing.tpcc_warmup_ms
+    testbed = make_testbed(system, n_servers, seed=seed)
+    game = build_game(
+        testbed.runtime, _game_config(spec.game, n_servers), system,
+        servers=testbed.servers,
+    )
+    deployment = build_tpcc(
+        testbed.runtime,
+        _tpcc_config(spec.tpcc, n_servers),
+        multi_ownership=(system == "aeon"),
+        servers=testbed.servers,
+        colocate=system in ("aeon", "aeon_so", "eventwave"),
+    )
+    workload = TpccWorkload(deployment, system)
+    n_game = wl_game.clients or (
+        (wl_game.clients_per_server or sizing.game_clients_per_server) * n_servers
+    )
+    n_tpcc = wl_tpcc.clients or (
+        (wl_tpcc.clients_per_server or sizing.tpcc_clients_per_server) * n_servers
+    )
+    game_clients = ClosedLoopClients(
+        testbed.runtime,
+        game.sample_op,
+        n_clients=n_game,
+        think_ms=wl_game.think_ms,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+        name_prefix=wl_game.name_prefix,
+    )
+    tpcc_clients = ClosedLoopClients(
+        testbed.runtime,
+        workload.sample_op,
+        n_clients=n_tpcc,
+        think_ms=wl_tpcc.think_ms,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+        name_prefix=wl_tpcc.name_prefix,
+    )
+    game_clients.start()
+    tpcc_clients.start()
+    testbed.sim.run(until=duration + (spec.drain_ms or 15000.0))
+    combined = measure(system, testbed, n_game + n_tpcc, warmup, duration)
+
+    window_s = (duration - warmup) / 1000.0
+
+    def split(tags: Tuple[str, ...]) -> Dict[str, float]:
+        lats = testbed.runtime.latency.latencies_between(warmup, duration, tags=tags)
+        lats.sort()
+        return {
+            "completed": len(lats),
+            "throughput_per_s": len(lats) / window_s if window_s > 0 else 0.0,
+            "mean_latency_ms": mean(lats),
+            "p99_latency_ms": percentile(lats, 99.0, presorted=True),
+        }
+
+    return {
+        "system": system,
+        "n_servers": n_servers,
+        "game_clients": n_game,
+        "tpcc_clients": n_tpcc,
+        "game": split(GAME_TAGS),
+        "tpcc": split(TPCC_TAGS),
+        "combined": {
+            "completed": combined.completed,
+            "throughput_per_s": combined.throughput_per_s,
+            "mean_latency_ms": combined.mean_latency_ms,
+            "p99_latency_ms": combined.p99_latency_ms,
+        },
+        "game_errors": len(game_clients.errors),
+        "tpcc_errors": len(tpcc_clients.errors),
+    }
+
+
+# ----------------------------------------------------------------------
+# Custom cell bodies (the figures whose wiring predates — and outlives —
+# the generic builder: elasticity setups, migration pumps, ablations)
+# ----------------------------------------------------------------------
+def _elastic_game_run(
+    setup: str,
+    scale: str,
+    seed: int = 0,
+    sla_ms: float = 10.0,
+) -> Dict[str, object]:
+    """One §6.2 run: ``setup`` is 'elastic' or a fixed server count."""
+    sizing = SCALES[scale]
+    duration = sizing.elastic_duration_ms
+    elastic = setup == "elastic"
+    start_servers = 8 if elastic else int(setup)
+    testbed = make_testbed("aeon", start_servers, instance_type=M1_SMALL, seed=seed)
+    testbed.cluster.boot_delay_ms = 1500.0
+    # 32 rooms so the fleet can usefully grow beyond 16 servers.
+    config = GameConfig(rooms=32, players_per_room=4, shared_items_per_room=2)
+    app = build_game(testbed.runtime, config, "aeon", servers=testbed.servers)
+    manager = None
+    if elastic:
+        storage = CloudStorage(testbed.sim)
+        policy = SLAPolicy(sla_ms=sla_ms, scale_out_step=4, min_servers=4,
+                           max_servers=40, scale_in_fraction=0.25,
+                           headroom=0.45)
+        manager = EManager(
+            testbed.runtime, storage, policy, M1_SMALL,
+            report_interval_ms=1000.0, max_concurrent_migrations=8,
+        )
+        manager.start()
+    profile = RampProfile.normal_peak(
+        duration, machines=8, min_per_machine=1, max_per_machine=16
+    )
+    clients = DynamicClients(
+        testbed.runtime,
+        app.sample_op,
+        profile,
+        think_ms=12.0,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+    )
+    clients.start()
+    testbed.sim.run(until=duration + 5000.0)
+    if manager is not None:
+        manager.stop()
+    # Latency time series (1 s buckets) and server-count series.
+    latency_series = testbed.runtime.latency.windowed_mean(1000.0, duration)
+    if manager is not None:
+        server_series = manager.server_count_series
+        avg_servers = server_series.mean_value()
+    else:
+        count = len(testbed.cluster.alive_servers())
+        server_series = None
+        avg_servers = float(count)
+    report = sla_report(
+        setup, testbed.runtime.latency, sla_ms, avg_servers, since_ms=0.0
+    )
+    return {
+        "setup": setup,
+        "latency_series": latency_series.points,
+        "server_series": server_series.points if server_series else None,
+        "client_series": clients.active_series,
+        "sla": report,
+    }
+
+
+def _elastic_cell(setup: str, rep: int, scale: str, seed: int) -> Dict[str, object]:
+    """One (setup, repetition) sub-cell of fig7/table1.
+
+    ``rep`` shards a setup into independent seed replicas (``seed +
+    rep``) so ``--set rep=0,1,2`` splits the two longest-running
+    experiments into cells ``--jobs`` can actually parallelise.  The
+    default single ``rep=0`` reproduces the historical monolithic cell
+    byte for byte.
+    """
+    return _elastic_game_run(setup, scale, seed + rep)
+
+
+def _fig8_cell(
+    n_migrations: int, scale: str, seed: int
+) -> List[Tuple[float, float]]:
+    """One fig8 run: throughput series while migrating ``n_migrations`` Rooms."""
+    sizing = SCALES[scale]
+    duration = sizing.migration_duration_ms
+    testbed = make_testbed("aeon", 20, instance_type=M1_SMALL, seed=seed)
+    config = GameConfig(rooms=20, players_per_room=4, shared_items_per_room=2)
+    app = build_game(testbed.runtime, config, "aeon", servers=testbed.servers)
+    storage = CloudStorage(testbed.sim)
+    host = Server(testbed.sim, "~emanager", M3_LARGE)
+    testbed.network.register(host.name, host.mailbox, M3_LARGE)
+    coordinator = MigrationCoordinator(testbed.runtime, storage, host)
+    clients = ClosedLoopClients(
+        testbed.runtime,
+        app.sample_op,
+        n_clients=120,
+        think_ms=10.0,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+    )
+    clients.start()
+
+    def migrate_rooms(n=n_migrations, tb=testbed, coord=coordinator):
+        yield tb.sim.timeout(duration * 0.4)
+        handles = []
+        for i in range(n):
+            src_room = f"room-{i}"
+            dst = tb.servers[(i + 1) % len(tb.servers)]
+            if tb.runtime.placement[src_room] == dst.name:
+                dst = tb.servers[(i + 2) % len(tb.servers)]
+            handles.append(coord.migrate(src_room, dst))
+        for handle in handles:
+            yield handle
+
+    testbed.sim.process(migrate_rooms())
+    testbed.sim.run(until=duration + 5000.0)
+    window = testbed.runtime.throughput.windowed_rate(250.0, duration)
+    return window.points
+
+
+def _fig9_cell(itype_name: str, size_bytes: int, scale: str, seed: int) -> float:
+    """One fig9 grid point: eManager migration throughput (contexts/s)."""
+    sizing = SCALES[scale]
+    batch = sizing.emanager_batch
+    itype = INSTANCE_TYPES[itype_name]
+    testbed = make_testbed("aeon", 2, instance_type=itype, seed=seed)
+
+    class Payload(Room):
+        pass
+
+    Payload.size_bytes = size_bytes
+    refs = []
+    for i in range(batch):
+        refs.append(
+            testbed.runtime.create_context(
+                Payload, server=testbed.servers[0],
+                name=f"payload-{i}", args=(i,),
+            )
+        )
+    storage = CloudStorage(testbed.sim)
+    host = Server(testbed.sim, "~emanager", itype)
+    testbed.network.register(host.name, host.mailbox, itype)
+    coordinator = MigrationCoordinator(testbed.runtime, storage, host)
+
+    def pump():
+        window = 4  # concurrent migrations in flight
+        pending = []
+        for ref in refs:
+            pending.append(coordinator.migrate(ref.cid, testbed.servers[1]))
+            if len(pending) >= window:
+                yield pending.pop(0)
+        for handle in pending:
+            yield handle
+
+    start = testbed.sim.now
+    testbed.sim.run_process(pump())
+    elapsed_s = (testbed.sim.now - start) / 1000.0
+    return batch / elapsed_s if elapsed_s > 0 else 0.0
+
+
+def _ablation_cell(early_release: bool, scale: str, seed: int) -> float:
+    """One ablation run: TPC-C throughput with the given release mode."""
+    sizing = SCALES[scale]
+    costs = DEFAULT_COSTS.with_(early_release=early_release)
+    testbed = make_testbed("aeon_so", 4, seed=seed, costs=costs)
+    config = TpccConfig(districts=4, customers_per_district=10)
+    deployment = build_tpcc(
+        testbed.runtime, config, False, servers=testbed.servers
+    )
+    workload = TpccWorkload(deployment, "aeon_so")
+    clients = ClosedLoopClients(
+        testbed.runtime, workload.sample_op,
+        n_clients=sizing.tpcc_clients_per_server * 4,
+        think_ms=5.0, rng=testbed.rng,
+        stop_at_ms=sizing.tpcc_duration_ms,
+    )
+    clients.start()
+    testbed.sim.run(until=sizing.tpcc_duration_ms + 15000.0)
+    result = measure("aeon_so", testbed, clients.n_clients,
+                     sizing.tpcc_warmup_ms, sizing.tpcc_duration_ms)
+    return result.throughput_per_s
+
+
+# ----------------------------------------------------------------------
+# Assembly: cell results (in cell order) -> figure data
+# ----------------------------------------------------------------------
+def _assemble_curve(spec, cells, results):
+    """``{system: [(x, value), ...]}`` — systems × one x axis (+ seeds).
+
+    With a swept ``seed`` axis the metric is averaged across seeds per
+    (system, x) point; a single seed passes values through untouched.
+    """
+    curves: Dict[str, List[Tuple[Any, Any]]] = {s: [] for s in spec.systems}
+    grouped: Dict[Tuple, List[Any]] = {}
+    order: List[Tuple] = []
+    for cell, result in zip(cells, results):
+        group = cell.key[:2]
+        if group not in grouped:
+            grouped[group] = []
+            order.append(group)
+        grouped[group].append(result.value)
+    for system, x in order:
+        values = grouped[(system, x)]
+        value = values[0] if len(values) == 1 else mean(values)
+        curves[system].append((x, value))
+    return curves
+
+
+def _assemble_xy(spec, cells, results):
+    """``{system: [metric-tuple, ...]}`` in sweep order (fig5b/fig6b)."""
+    curves: Dict[str, List[Any]] = {s: [] for s in spec.systems}
+    for cell, result in zip(cells, results):
+        curves[cell.key[0]].append(result.value)
+    return curves
+
+
+def _assemble_by_first_key(spec, cells, results):
+    """``{key[0]: run}`` in cell order (fig10-style per-system runs)."""
+    return {
+        cell.key[0]: result.value for cell, result in zip(cells, results)
+    }
+
+
+_GENERIC_ASSEMBLERS = {
+    "curve": _assemble_curve,
+    "xy": _assemble_xy,
+    "runs": _assemble_by_first_key,
+    "elastic": _assemble_by_first_key,
+    "mixed": _assemble_by_first_key,
+}
+
+
+def _rep_groups(spec, cells, results):
+    """Group (setup, rep) elastic sub-cell results by setup, in axis order."""
+    by_setup: Dict[str, List[Any]] = {}
+    order: List[str] = []
+    for cell, result in zip(cells, results):
+        setup = cell.key[0]
+        if setup not in order:
+            order.append(setup)
+            by_setup[setup] = []
+        by_setup[setup].append(result.value)
+    return order, by_setup
+
+
+def _aggregate_elastic_runs(runs: List[Dict[str, object]]) -> Dict[str, object]:
+    """Average multi-rep elastic runs (single-rep passes through untouched).
+
+    The latency series is averaged pointwise by window time; the
+    server/client series stay rep 0's (fleet decisions are per-replica
+    trajectories, not averageable); SLA scalars average across reps.
+    """
+    if len(runs) == 1:
+        return runs[0]
+    by_time: Dict[float, List[float]] = {}
+    for run in runs:
+        for t, value in run["latency_series"]:
+            by_time.setdefault(t, []).append(value)
+    first = runs[0]
+    reports = [run["sla"] for run in runs]
+    return {
+        "setup": first["setup"],
+        "reps": len(runs),
+        "latency_series": [(t, mean(vals)) for t, vals in sorted(by_time.items())],
+        "server_series": first["server_series"],
+        "client_series": first["client_series"],
+        "sla": {
+            "setup": reports[0].setup,
+            "sla_ms": reports[0].sla_ms,
+            "total_requests": sum(r.total_requests for r in reports),
+            "violations": sum(r.violations for r in reports),
+            "violation_pct": mean([r.violation_pct for r in reports]),
+            "avg_servers": mean([r.avg_servers for r in reports]),
+        },
+    }
+
+
+def _assemble_fig7(spec, cells, results):
+    """``{setup: run}`` — multi-rep setups aggregate via the rep shards."""
+    order, by_setup = _rep_groups(spec, cells, results)
+    return {setup: _aggregate_elastic_runs(by_setup[setup]) for setup in order}
+
+
+def _assemble_table1(spec, cells, results):
+    """Table 1 rows: one per setup, averaged across rep shards."""
+    order, by_setup = _rep_groups(spec, cells, results)
+    rows = []
+    for setup in order:
+        runs = by_setup[setup]
+        if len(runs) == 1:
+            report = runs[0]["sla"]
+            violation_pct = report.violation_pct
+            avg_servers = report.avg_servers
+            requests = report.total_requests
+        else:
+            reports = [run["sla"] for run in runs]
+            violation_pct = mean([r.violation_pct for r in reports])
+            avg_servers = mean([r.avg_servers for r in reports])
+            requests = sum(r.total_requests for r in reports)
+        rows.append(
+            {
+                "setup": f"{setup}-server" if setup != "elastic" else "Elastic",
+                "violation_pct": violation_pct,
+                "avg_servers": avg_servers,
+                "requests": requests,
+            }
+        )
+    return rows
+
+
+def _assemble_fig8(spec, cells, results):
+    return {
+        f"{cell.key[0]} contexts": result.value
+        for cell, result in zip(cells, results)
+    }
+
+
+_FIG9_SIZE_LABELS = {1024: "1KB", 1_000_000: "1MB"}
+
+
+def _assemble_fig9(spec, cells, results):
+    out: Dict[str, Dict[str, float]] = {}
+    for cell, result in zip(cells, results):
+        itype, size_bytes = cell.key[0], cell.key[1]
+        label = _FIG9_SIZE_LABELS.get(size_bytes, f"{size_bytes}B")
+        out.setdefault(itype, {})[label] = result.value
+    return out
+
+
+def _assemble_fig11(spec, cells, results):
+    systems: Dict[str, object] = {}
+    aeon_full = None
+    for cell, result in zip(cells, results):
+        system, mode = cell.key[0], cell.key[1]
+        if mode == "delta":
+            systems[system] = result.value
+        else:
+            aeon_full = result.value
+    return {
+        "window_ms": spec.faults.window_ms,
+        "systems": systems,
+        "aeon_full": aeon_full,
+    }
+
+
+def _assemble_ablation(spec, cells, results):
+    labels = {True: "chain-release", False: "hold-till-commit"}
+    return {
+        labels[cell.key[0]]: result.value
+        for cell, result in zip(cells, results)
+    }
+
+
+def _assemble_churn_sweep(spec, cells, results):
+    rows = []
+    runs: Dict[str, object] = {}
+    for cell, result in zip(cells, results):
+        run = result.value
+        mtbf = cell.key[-1]
+        runs[f"{run['system']}@{mtbf:g}"] = run
+        rows.append(
+            {
+                "system": run["system"],
+                "mtbf_ms": mtbf,
+                "crashes": run["crashes"],
+                "availability_pct": run["slo"]["availability_pct"],
+                "mean_detection_latency_ms": run["mean_detection_latency_ms"],
+                "contexts_recovered": run["contexts_recovered"],
+                "events_failed": run["events_failed"],
+                "checkpoint_bytes_written": run["checkpoint_bytes_written"],
+            }
+        )
+    return {"window_ms": spec.faults.window_ms, "rows": rows, "runs": runs}
+
+
+def assemble_scenario(spec: ScenarioSpec, cells, results):
+    """Assemble cell results (in cell order) into the figure data."""
+    if spec.assemble:
+        return _resolve(spec.assemble)(spec, cells, results)
+    try:
+        assembler = _GENERIC_ASSEMBLERS[spec.output]
+    except KeyError:
+        raise ScenarioError(
+            f"scenario {spec.name!r}: no generic assembler for output "
+            f"{spec.output!r} and no custom 'assemble' hook"
+        ) from None
+    return assembler(spec, cells, results)
+
+
+# ----------------------------------------------------------------------
+# Rendering: figure data -> text (keyed off the spec's output shape)
+# ----------------------------------------------------------------------
+def _render_grid_curve(spec, data) -> str:
+    systems = list(data)
+    xs = [x for x, _ in data[systems[0]]]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [round(data[s][i][1]) for s in systems])
+    return format_table(spec.title, [spec.x_name] + systems, rows)
+
+
+def _render_xy_curve(spec, data) -> str:
+    lines = [spec.title, ""]
+    for system, points in data.items():
+        lines.append(f"[{system}]")
+        for x, y in points:
+            lines.append(f"  {x:10.1f}  {y:10.2f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _sla_field(sla, name):
+    """Read an SLA field from a SlaReport or an aggregated-rep dict."""
+    return sla[name] if isinstance(sla, dict) else getattr(sla, name)
+
+
+def _render_fig7(spec, data) -> str:
+    lines = [spec.title, ""]
+    for setup, run in data.items():
+        values = [v for _t, v in run["latency_series"]]
+        lines.append(
+            f"  {setup:>8}: mean={mean(values):6.2f} ms  "
+            f"peak={max(values) if values else 0:6.2f} ms  "
+            f"violations={_sla_field(run['sla'], 'violation_pct'):5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def _render_table1(spec, data) -> str:
+    return format_table(
+        spec.title,
+        ["setup", "% requests > SLA", "avg servers", "requests"],
+        [
+            [r["setup"], round(r["violation_pct"], 1), round(r["avg_servers"], 1), r["requests"]]
+            for r in data
+        ],
+    )
+
+
+def _render_fig8(spec, data) -> str:
+    lines = [spec.title, ""]
+    for label, points in data.items():
+        values = [v for _t, v in points]
+        steady = mean(values[:4]) if len(values) >= 4 else mean(values)
+        dip = min(values) if values else 0.0
+        lines.append(f"  {label:>12}: steady={steady:7.1f}/s  dip={dip:7.1f}/s")
+    return "\n".join(lines)
+
+
+def _render_fig9(spec, data) -> str:
+    rows = [
+        [itype, round(sizes["1KB"], 1), round(sizes["1MB"], 1)]
+        for itype, sizes in data.items()
+    ]
+    return format_table(spec.title, ["instance", "1KB", "1MB"], rows)
+
+
+def fig10_phases(run: Dict[str, object]) -> Dict[str, float]:
+    """Mean goodput of one fig10 run before / during / after the outage.
+
+    ``pre`` skips the first 10% as warmup; ``outage`` spans the crash to
+    the end of recovery (or the detector lease window when no recovery
+    ran); ``post`` starts 1 s after recovery finished.
+    """
+    crash = float(run["crash_at_ms"])
+    duration = float(run["duration_ms"])
+    recovery_end = crash
+    for entry in run["recoveries"]:
+        finished = entry.get("finished_ms")
+        if finished is not None and finished > recovery_end:
+            recovery_end = finished
+    if recovery_end <= crash:
+        recovery_end = crash + 1500.0
+    goodput = run["goodput"]
+    pre = [v for t, v in goodput if duration * 0.1 <= t < crash]
+    outage = [v for t, v in goodput if crash <= t < recovery_end]
+    post = [v for t, v in goodput if recovery_end + 1000.0 <= t < duration]
+    return {
+        "pre": mean(pre),
+        "outage": mean(outage),
+        "post": mean(post),
+        "recovery_end_ms": recovery_end,
+    }
+
+
+def _render_fig10(spec, data) -> str:
+    rows = []
+    for system, run in data.items():
+        phases = fig10_phases(run)
+        detections = run["detections"]
+        detect_ms = mean(
+            [d["latency_ms"] for d in detections if d["latency_ms"] is not None]
+        )
+        rows.append(
+            [
+                system,
+                round(phases["pre"], 1),
+                round(phases["outage"], 1),
+                round(phases["post"], 1),
+                round(detect_ms, 1),
+                run["contexts_recovered"],
+                run["events_failed"],
+            ]
+        )
+    return format_table(
+        spec.title,
+        ["system", "pre-crash", "outage", "recovered", "detect ms", "ctx restored", "failed"],
+        rows,
+    )
+
+
+def _render_fig11(spec, data) -> str:
+    rows = []
+    runs = dict(data["systems"])
+    runs["aeon (full ckpt)"] = data["aeon_full"]
+    for label, run in runs.items():
+        slo = run["slo"]
+        rows.append(
+            [
+                label,
+                round(slo["availability_pct"], 1),
+                round(slo["baseline_goodput_per_s"], 1),
+                round(slo["goodput_target_per_s"], 1),
+                round(run["mean_detection_latency_ms"], 1),
+                run["contexts_recovered"],
+                run["events_failed"],
+                run["checkpoints_taken"],
+                run["checkpoints_skipped"],
+                run["checkpoint_bytes_written"],
+            ]
+        )
+    table = format_table(
+        spec.title,
+        [
+            "system",
+            "avail %",
+            "base ev/s",
+            "target ev/s",
+            "detect ms",
+            "ctx restored",
+            "failed",
+            "ckpts",
+            "skipped",
+            "ckpt bytes",
+        ],
+        rows,
+    )
+    delta_bytes = data["systems"]["aeon"]["checkpoint_bytes_written"]
+    full_bytes = data["aeon_full"]["checkpoint_bytes_written"]
+    saving = 100.0 * (1.0 - delta_bytes / full_bytes) if full_bytes else 0.0
+    return (
+        table
+        + f"\n\ndelta checkpoints: {delta_bytes:,} bytes vs full "
+        + f"{full_bytes:,} bytes ({saving:.1f}% saved on identical churn)"
+    )
+
+
+def _render_ablation(spec, data) -> str:
+    return format_table(
+        spec.title,
+        ["mode", "events/s"],
+        [[k, round(v, 1)] for k, v in data.items()],
+    )
+
+
+def _render_churn_sweep(spec, data) -> str:
+    rows = [
+        [
+            r["system"],
+            round(r["mtbf_ms"]),
+            r["crashes"],
+            round(r["availability_pct"], 1),
+            round(r["mean_detection_latency_ms"], 1),
+            r["contexts_recovered"],
+            r["events_failed"],
+            r["checkpoint_bytes_written"],
+        ]
+        for r in data["rows"]
+    ]
+    return format_table(
+        spec.title,
+        ["system", "MTBF ms", "crashes", "avail %", "detect ms",
+         "ctx restored", "failed", "ckpt bytes"],
+        rows,
+    )
+
+
+def _render_mixed(spec, data) -> str:
+    rows = []
+    for system, run in data.items():
+        rows.append(
+            [
+                system,
+                round(run["game"]["throughput_per_s"], 1),
+                round(run["game"]["p99_latency_ms"], 2),
+                round(run["tpcc"]["throughput_per_s"], 1),
+                round(run["tpcc"]["p99_latency_ms"], 2),
+                round(run["combined"]["throughput_per_s"], 1),
+                run["game_errors"] + run["tpcc_errors"],
+            ]
+        )
+    return format_table(
+        spec.title,
+        ["system", "game ev/s", "game p99", "tpcc txn/s", "tpcc p99",
+         "combined/s", "errors"],
+        rows,
+    )
+
+
+def _render_elastic(spec, data) -> str:
+    lines = [spec.title, ""]
+    for system, run in data.items():
+        values = [v for _t, v in run["latency_series"]]
+        lines.append(
+            f"  {system:>10}: mean={mean(values):6.2f} ms  "
+            f"peak={max(values) if values else 0:6.2f} ms  "
+            f"violations={_sla_field(run['sla'], 'violation_pct'):5.1f}%  "
+            f"servers avg={run['avg_servers']:.1f} peak={run['peak_servers']:.0f}  "
+            f"clients peak={run['peak_clients']}"
+        )
+    return "\n".join(lines)
+
+
+_GENERIC_RENDERERS = {
+    "curve": _render_grid_curve,
+    "xy": _render_xy_curve,
+    "runs": _render_fig10,
+    "elastic": _render_elastic,
+    "mixed": _render_mixed,
+}
+
+
+def render_scenario(spec: ScenarioSpec, data) -> str:
+    """Human-readable rendering of a scenario's assembled data."""
+    if spec.render:
+        return _resolve(spec.render)(spec, data)
+    renderer = _GENERIC_RENDERERS.get(spec.output)
+    if renderer is None:
+        return repr(data)
+    return renderer(spec, data)
+
+
+# ----------------------------------------------------------------------
+# JSON conversion + the one-call driver
+# ----------------------------------------------------------------------
+def _jsonable(value: Any) -> Any:
+    """Recursively convert experiment results to JSON-encodable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def prepare_scenario(
+    scenario: Any,
+    scale: Optional[str] = None,
+    seed: Optional[int] = None,
+    overrides: Sequence[str] = (),
+) -> ScenarioSpec:
+    """Resolve a name/spec and apply scale/seed/``--set`` overrides."""
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if scale is not None:
+        spec = replace(spec, scale=scale)
+    if spec.scale not in SCALES:
+        raise ScenarioError(
+            f"unknown scale {spec.scale!r}; pick from {', '.join(sorted(SCALES))}"
+        )
+    if seed is not None:
+        spec = replace(spec, seeds=(seed,))
+    if overrides:
+        spec = apply_overrides(spec, overrides)
+    return spec
+
+
+def run_scenario(
+    scenario: Any,
+    scale: Optional[str] = None,
+    seed: Optional[int] = None,
+    jobs: int = 1,
+    overrides: Sequence[str] = (),
+    pool: Any = None,
+) -> Any:
+    """Run a scenario end to end and return its assembled figure data.
+
+    ``scenario`` is a registered name or a :class:`ScenarioSpec`;
+    ``scale``/``seed`` override the spec's sizing; ``overrides`` are
+    ``--set``-style ``key=value`` strings; ``jobs`` fans the sweep cells
+    out to worker processes (1 = serial, 0 = one per core — data is
+    byte-identical at any level); ``pool`` shares one
+    :class:`~repro.harness.runner.CellPool` across scenarios.
+    """
+    spec = prepare_scenario(scenario, scale=scale, seed=seed, overrides=overrides)
+    cells = expand(spec)
+    results = run_cells(cells, jobs, pool=pool)
+    return assemble_scenario(spec, cells, results)
+
+
+# ----------------------------------------------------------------------
+# Registered scenarios — the paper's figures
+# ----------------------------------------------------------------------
+@scenario
+def _fig5a() -> ScenarioSpec:
+    """Game throughput vs number of servers, all five systems."""
+    return ScenarioSpec(
+        name="fig5a",
+        title="Fig 5a — game scale-out (events/s)",
+        description="Game throughput vs number of servers, all five systems.",
+        app="game",
+        workload=WorkloadSpec(think_ms=2.0),
+        metrics=("throughput_per_s",),
+        output="curve",
+        x_name="servers",
+    )
+
+
+@scenario
+def _fig5b() -> ScenarioSpec:
+    """Game (throughput, mean latency) pairs over a client sweep."""
+    return ScenarioSpec(
+        name="fig5b",
+        title="Fig 5b — game latency vs throughput (thr/s, ms)",
+        description="Game latency vs throughput at 8 servers over a client sweep.",
+        app="game",
+        servers=8,
+        workload=WorkloadSpec(think_ms=2.0),
+        axes=(("clients", ()),),  # () -> the scale preset's client_sweep
+        metrics=("throughput_per_s", "mean_latency_ms"),
+        output="xy",
+    )
+
+
+@scenario
+def _fig6a() -> ScenarioSpec:
+    """TPC-C throughput vs number of servers (one district each)."""
+    return ScenarioSpec(
+        name="fig6a",
+        title="Fig 6a — TPC-C scale-out (events/s)",
+        description="TPC-C throughput vs number of servers (one district each).",
+        app="tpcc",
+        workload=WorkloadSpec(think_ms=5.0),
+        metrics=("throughput_per_s",),
+        output="curve",
+        x_name="servers",
+    )
+
+
+@scenario
+def _fig6b() -> ScenarioSpec:
+    """TPC-C (throughput, mean latency) pairs over a client sweep."""
+    return ScenarioSpec(
+        name="fig6b",
+        title="Fig 6b — TPC-C latency vs throughput (txn/s, ms)",
+        description="TPC-C latency vs throughput at 8 servers over a client sweep.",
+        app="tpcc",
+        servers=8,
+        workload=WorkloadSpec(think_ms=5.0),
+        axes=(("clients", ()),),
+        metrics=("throughput_per_s", "mean_latency_ms"),
+        output="xy",
+    )
+
+
+@scenario
+def _fig7() -> ScenarioSpec:
+    """Latency/server-count time series: elastic vs static setups."""
+    return ScenarioSpec(
+        name="fig7",
+        title="Fig 7 — elastic vs static (mean latency per setup)",
+        description="Latency and fleet-size time series, elastic vs static setups.",
+        cell=f"{_SCN}:_elastic_cell",
+        axes=(("setup", ("elastic", "8", "16", "32")), ("rep", (0,))),
+        output="fig7",
+        assemble=f"{_SCN}:_assemble_fig7",
+        render=f"{_SCN}:_render_fig7",
+    )
+
+
+@scenario
+def _table1() -> ScenarioSpec:
+    """SLA violation percentage and average servers per setup."""
+    return ScenarioSpec(
+        name="table1",
+        title="Table 1 — SLA performance and cost",
+        description="SLA violations and average fleet size per setup.",
+        cell=f"{_SCN}:_elastic_cell",
+        axes=(("setup", ("8", "16", "22", "32", "elastic")), ("rep", (0,))),
+        output="table1",
+        assemble=f"{_SCN}:_assemble_table1",
+        render=f"{_SCN}:_render_table1",
+    )
+
+
+@scenario
+def _fig8() -> ScenarioSpec:
+    """Throughput time series while migrating 1/8/12 of 20 Rooms."""
+    return ScenarioSpec(
+        name="fig8",
+        title="Fig 8 — throughput while migrating Room contexts",
+        description="Throughput time series while migrating 1/8/12 of 20 Rooms.",
+        cell=f"{_SCN}:_fig8_cell",
+        axes=(("n_migrations", (1, 8, 12)),),
+        output="fig8",
+        assemble=f"{_SCN}:_assemble_fig8",
+        render=f"{_SCN}:_render_fig8",
+    )
+
+
+@scenario
+def _fig9() -> ScenarioSpec:
+    """Max contexts/s the eManager migrates, per instance type and size."""
+    return ScenarioSpec(
+        name="fig9",
+        title="Fig 9 — eManager max migration throughput (contexts/s)",
+        description="eManager migration throughput per instance type and payload.",
+        cell=f"{_SCN}:_fig9_cell",
+        axes=(
+            ("itype_name", ("m1.large", "m1.medium", "m1.small")),
+            ("size_bytes", (1024, 1_000_000)),
+        ),
+        output="fig9",
+        assemble=f"{_SCN}:_assemble_fig9",
+        render=f"{_SCN}:_render_fig9",
+    )
+
+
+@scenario
+def _fig10() -> ScenarioSpec:
+    """Goodput/p99 through a crash/recovery timeline, AEON vs baselines."""
+    return ScenarioSpec(
+        name="fig10",
+        title="Fig 10 — goodput through a crash/recovery timeline (events/s)",
+        description="Availability through one mid-run server crash and recovery.",
+        app="game",
+        systems=("aeon", "eventwave", "orleans"),
+        servers=6,
+        game=GameSpec(players_per_room=4, shared_items_per_room=2),
+        workload=WorkloadSpec(think_ms=8.0, max_retries=2),
+        faults=FaultSpec(kind="crash"),
+        output="runs",
+        render=f"{_SCN}:_render_fig10",
+    )
+
+
+@scenario
+def _fig11() -> ScenarioSpec:
+    """Availability SLO table under sustained churn, AEON vs baselines."""
+    return ScenarioSpec(
+        name="fig11",
+        title="Fig 11 — availability SLO under crash/restart churn",
+        description="Windowed availability SLO under sustained crash/restart churn.",
+        app="game",
+        systems=("aeon", "eventwave", "orleans"),
+        servers=6,
+        game=GameSpec(
+            players_per_room=4, shared_items_per_room=2, room_weights="geometric"
+        ),
+        workload=WorkloadSpec(think_ms=8.0, max_retries=2),
+        faults=FaultSpec(kind="churn"),
+        points=(
+            (("system", "aeon"), ("checkpoint_mode", "delta")),
+            (("system", "eventwave"), ("checkpoint_mode", "delta")),
+            (("system", "orleans"), ("checkpoint_mode", "delta")),
+            (("system", "aeon"), ("checkpoint_mode", "full")),
+        ),
+        output="fig11",
+        assemble=f"{_SCN}:_assemble_fig11",
+        render=f"{_SCN}:_render_fig11",
+    )
+
+
+@scenario
+def _ablation() -> ScenarioSpec:
+    """TPC-C throughput with and without chain (early) release."""
+    return ScenarioSpec(
+        name="ablation",
+        title="Ablation — chain release (TPC-C, AEON_SO, 4 servers)",
+        description="TPC-C throughput with and without chain (early) release.",
+        cell=f"{_SCN}:_ablation_cell",
+        axes=(("early_release", (True, False)),),
+        output="ablation",
+        assemble=f"{_SCN}:_assemble_ablation",
+        render=f"{_SCN}:_render_ablation",
+    )
+
+
+# ----------------------------------------------------------------------
+# Registered scenarios — beyond the paper (the old API made these painful)
+# ----------------------------------------------------------------------
+@scenario
+def _mixed_cotenancy() -> ScenarioSpec:
+    """Game + TPC-C co-tenants sharing one fleet (per-app + combined metrics)."""
+    return ScenarioSpec(
+        name="mixed_cotenancy",
+        title="Mixed co-tenancy — game + TPC-C on one fleet",
+        description="Game and TPC-C deployed on the same servers under "
+        "concurrent load; per-app and combined throughput/latency. "
+        "(EventWave is excluded: one root context per runtime.)",
+        app="mixed",
+        systems=("aeon", "aeon_so", "orleans"),
+        servers=6,
+        workload=WorkloadSpec(think_ms=2.0, clients_per_server=30),
+        tpcc_workload=WorkloadSpec(
+            think_ms=5.0, clients_per_server=8, name_prefix="tpcc-client"
+        ),
+        output="mixed",
+    )
+
+
+@scenario
+def _churn_sweep() -> ScenarioSpec:
+    """Availability vs churn intensity: an MTBF sweep of the fig11 run."""
+    return ScenarioSpec(
+        name="churn_sweep",
+        title="Churn sweep — availability vs MTBF (delta checkpoints)",
+        description="fig11's churn run swept over mean-time-between-crashes: "
+        "how availability degrades as churn intensifies.",
+        app="game",
+        systems=("aeon",),
+        servers=6,
+        game=GameSpec(
+            players_per_room=4, shared_items_per_room=2, room_weights="geometric"
+        ),
+        workload=WorkloadSpec(think_ms=8.0, max_retries=2),
+        faults=FaultSpec(kind="churn", checkpoint_mode="delta"),
+        axes=(("mtbf_ms", (1500.0, 3000.0, 6000.0)),),
+        output="churn_sweep",
+        assemble=f"{_SCN}:_assemble_churn_sweep",
+        render=f"{_SCN}:_render_churn_sweep",
+    )
+
+
+@scenario
+def _diurnal() -> ScenarioSpec:
+    """Diurnal-wave elasticity: the eManager tracking day/night load cycles."""
+    return ScenarioSpec(
+        name="diurnal",
+        title="Diurnal elasticity — two-peak day/night load (elastic fleet)",
+        description="An elastic AEON fleet following a two-cycle diurnal "
+        "client wave; latency vs fleet-size trajectories and SLA score.",
+        app="game",
+        systems=("aeon",),
+        servers=8,
+        instance="m1.small",
+        game=GameSpec(rooms=32, players_per_room=4, shared_items_per_room=2),
+        workload=WorkloadSpec(
+            kind="ramp",
+            profile="diurnal",
+            think_ms=12.0,
+            machines=8,
+            min_per_machine=1,
+            max_per_machine=16,
+            cycles=2,
+        ),
+        elastic=ElasticSpec(),
+        output="elastic",
+    )

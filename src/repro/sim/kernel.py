@@ -36,6 +36,7 @@ __all__ = [
     "SimulationError",
     "HeapTimers",
     "CalendarTimers",
+    "AdaptiveTimers",
 ]
 
 
@@ -277,24 +278,18 @@ class CpuCharge:
         self.delay = delay
 
 
-class HeapTimers:
-    """Binary-heap timer queue (the pre-calendar fallback).
+class _HeapOps:
+    """Binary-heap timer-queue method bundle (shared by :class:`HeapTimers`
+    and the heap mode of :class:`AdaptiveTimers`; no instance layout)."""
 
-    Entries are ``(fire_at, seq, callback, args)`` tuples, totally
-    ordered by ``(fire_at, seq)``.  ``head`` always holds the minimum
-    entry (or ``None`` when empty) so hot-path peeks are a single
-    attribute load.  Selected with ``Simulator(timers="heap")`` or
-    ``REPRO_SIM_TIMERS=heap``; see docs/ARCHITECTURE.md § Timer queues.
-    """
-
-    __slots__ = ("_heap", "head")
-
-    def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callable, tuple]] = []
-        self.head: Optional[Tuple[float, int, Callable, tuple]] = None
+    __slots__ = ()
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def entries(self) -> List[Tuple[float, int, Callable, tuple]]:
+        """All live entries, in arbitrary order (for queue handoff)."""
+        return list(self._heap)
 
     def push(self, entry: Tuple[float, int, Callable, tuple]) -> None:
         """Insert ``entry``; updates :attr:`head`."""
@@ -317,30 +312,29 @@ class HeapTimers:
         self.head = heap[0] if heap else None
 
 
-class CalendarTimers:
-    """Calendar-queue (bucketed timer wheel) timer queue — the default.
+class HeapTimers(_HeapOps):
+    """Binary-heap timer queue.
 
-    Timers hash into buckets of ``width`` virtual milliseconds by
-    absolute bucket number ``int(fire_at / width)`` (a dict keyed by
-    bucket number, so there are no wrap-around laps and far-future
-    timers cost nothing until their bucket comes up).  Buckets are
-    *lazily sorted*: a future bucket is a plain append-list; when the
-    wheel reaches it, :meth:`_promote` sorts it once (C timsort) into
-    the *current run* ``_cur``, and pops walk that run by index — O(1)
-    per pop, O(1) per push, sort cost amortized to O(log bucket) C
-    comparisons per timer.  The executed order is exactly
-    ``(fire_at, seq)`` — bit-identical to :class:`HeapTimers`, which the
-    trace checksums in ``tests/test_determinism.py`` gate.
+    The small-population half of the default :class:`AdaptiveTimers`
+    hybrid, and the plain fallback (``Simulator(timers="heap")`` /
+    ``REPRO_SIM_TIMERS=heap``).
 
-    A push landing inside the current run (delay shorter than the rest
-    of the bucket) bisect-inserts into the unconsumed tail, so ordering
-    stays exact without heap discipline.  The bucket width re-tunes
-    (``_retune``) to ~4 mean gaps between *distinct* fire times —
-    simulated timers cluster on grids (fixed think times, constant
-    latencies), and counting duplicates would undersize buckets —
-    whenever a promoted bucket is grossly oversized or the wheel walks
-    long empty stretches.  See docs/ARCHITECTURE.md § Timer queues.
+    Entries are ``(fire_at, seq, callback, args)`` tuples, totally
+    ordered by ``(fire_at, seq)``.  ``head`` always holds the minimum
+    entry (or ``None`` when empty) so hot-path peeks are a single
+    attribute load.  See docs/ARCHITECTURE.md § Timer queues.
     """
+
+    __slots__ = ("_heap", "head")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self.head: Optional[Tuple[float, int, Callable, tuple]] = None
+
+
+class _CalendarOps:
+    """Calendar-queue method bundle (shared by :class:`CalendarTimers`
+    and the wheel mode of :class:`AdaptiveTimers`; no instance layout)."""
 
     #: Empty buckets walked per promote before jumping to min(buckets).
     SCAN_LIMIT = 32
@@ -349,20 +343,9 @@ class CalendarTimers:
     #: Cumulative empty-bucket walks that trigger a width re-tune.
     SCAN_DEBT = 4096
 
-    __slots__ = (
-        "_buckets",
-        "_width",
-        "_inv_width",
-        "_cur",
-        "_cur_i",
-        "_cur_key",
-        "_size",
-        "_scan_debt",
-        "_pops_since_tune",
-        "head",
-    )
+    __slots__ = ()
 
-    def __init__(self, width: float = 1.0) -> None:
+    def _init_calendar(self, width: float = 1.0) -> None:
         self._buckets: dict = {}
         self._width = width
         self._inv_width = 1.0 / width
@@ -377,6 +360,12 @@ class CalendarTimers:
 
     def __len__(self) -> int:
         return self._size
+
+    def entries(self) -> List[tuple]:
+        """All live entries, in arbitrary order (for queue handoff)."""
+        live = [entry for bucket in self._buckets.values() for entry in bucket]
+        live.extend(self._cur[self._cur_i :])
+        return live
 
     def push(self, entry: Tuple[float, int, Callable, tuple]) -> None:
         """Insert ``entry``; updates :attr:`head`.  O(1) amortized."""
@@ -516,14 +505,197 @@ class CalendarTimers:
         self._cur_key = k_head
 
 
+class CalendarTimers(_CalendarOps):
+    """Calendar-queue (bucketed timer wheel) timer queue.
+
+    The large-population half of the default :class:`AdaptiveTimers`
+    hybrid; also selectable outright with ``Simulator(timers="calendar")``
+    / ``REPRO_SIM_TIMERS=calendar``.
+
+    Timers hash into buckets of ``width`` virtual milliseconds by
+    absolute bucket number ``int(fire_at / width)`` (a dict keyed by
+    bucket number, so there are no wrap-around laps and far-future
+    timers cost nothing until their bucket comes up).  Buckets are
+    *lazily sorted*: a future bucket is a plain append-list; when the
+    wheel reaches it, :meth:`_promote` sorts it once (C timsort) into
+    the *current run* ``_cur``, and pops walk that run by index — O(1)
+    per pop, O(1) per push, sort cost amortized to O(log bucket) C
+    comparisons per timer.  The executed order is exactly
+    ``(fire_at, seq)`` — bit-identical to :class:`HeapTimers`, which the
+    trace checksums in ``tests/test_determinism.py`` gate.
+
+    A push landing inside the current run (delay shorter than the rest
+    of the bucket) bisect-inserts into the unconsumed tail, so ordering
+    stays exact without heap discipline.  The bucket width re-tunes
+    (``_retune``) to ~4 mean gaps between *distinct* fire times —
+    simulated timers cluster on grids (fixed think times, constant
+    latencies), and counting duplicates would undersize buckets —
+    whenever a promoted bucket is grossly oversized or the wheel walks
+    long empty stretches.  See docs/ARCHITECTURE.md § Timer queues.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_width",
+        "_inv_width",
+        "_cur",
+        "_cur_i",
+        "_cur_key",
+        "_size",
+        "_scan_debt",
+        "_pops_since_tune",
+        "head",
+    )
+
+    def __init__(self, width: float = 1.0) -> None:
+        self._init_calendar(width)
+
+
+class AdaptiveTimers:
+    """Adaptive timer queue: binary heap when small, calendar wheel when
+    large — the default.
+
+    PR 4's measurements (see ROADMAP.md § Performance) showed
+    :class:`CalendarTimers` beating C ``heapq`` on big timer populations
+    but *losing* ~10 % on small ones (``resource_contention``: ~14 live
+    timers), where heap operations are a couple of C calls and the
+    wheel's Python-level bucket bookkeeping cannot compete.  This queue
+    takes both regimes: it runs the heap code while the live size stays
+    below :data:`UP`, hands every live entry to fresh calendar state
+    when a push crosses it, and hands back when a pop drains below
+    :data:`DOWN` (hysteresis, so a population oscillating around one
+    threshold cannot thrash migrations).
+
+    Implementation note: instead of delegating to an inner queue object
+    (a wrapper layer costs ~10 % on the push/pop hot path, defeating
+    the point), the instance **switches its own class** between two
+    mode classes (:class:`_AdaptiveHeap` / :class:`_AdaptiveCalendar`)
+    that share this class's slot layout and inherit the real
+    :class:`_HeapOps` / :class:`_CalendarOps` method bundles — so each
+    push/pop runs the same code as the pure queues, plus one length
+    check.  ``AdaptiveTimers()`` constructs an instance in heap mode;
+    ``isinstance(q, AdaptiveTimers)`` holds in both modes.
+
+    The handoff is *exact*: both method bundles pop in ``(fire_at,
+    seq)`` order, and a migration moves the live-entry set verbatim, so
+    the merged pop sequence is bit-identical to either pure queue — the
+    determinism trace checksums (``tests/test_determinism.py``) run on
+    this queue.  Selected with ``Simulator(timers="adaptive")`` or
+    ``REPRO_SIM_TIMERS=adaptive`` (the default); see
+    docs/ARCHITECTURE.md § Timer queues.
+    """
+
+    #: Live size above which a push migrates heap -> calendar.
+    UP = 64
+    #: Live size below which a pop migrates calendar -> heap.
+    DOWN = 24
+
+    # Union of both modes' state so __class__ switching keeps one layout.
+    __slots__ = (
+        "_heap",
+        "_buckets",
+        "_width",
+        "_inv_width",
+        "_cur",
+        "_cur_i",
+        "_cur_key",
+        "_size",
+        "_scan_debt",
+        "_pops_since_tune",
+        "head",
+    )
+
+    def __new__(cls) -> "AdaptiveTimers":
+        if cls is AdaptiveTimers:
+            return object.__new__(_AdaptiveHeap)
+        return object.__new__(cls)
+
+    def __init__(self) -> None:
+        self._heap = []
+        self.head = None
+
+    @property
+    def mode(self) -> str:
+        """The active implementation: ``"heap"`` or ``"calendar"``."""
+        return "heap" if isinstance(self, _AdaptiveHeap) else "calendar"
+
+
+class _AdaptiveHeap(_HeapOps, AdaptiveTimers):
+    """Heap mode of :class:`AdaptiveTimers` (push checks the UP threshold)."""
+
+    __slots__ = ()
+
+    def push(self, entry: Tuple[float, int, Callable, tuple]) -> None:
+        """Heap push, migrating to the calendar wheel past ``UP`` entries."""
+        heap = self._heap
+        heappush(heap, entry)
+        self.head = heap[0]
+        if len(heap) > self.UP:
+            self._to_calendar()
+
+    def _to_calendar(self) -> None:
+        # Move the live set verbatim into fresh calendar state.  Order
+        # within the set is irrelevant: each mode orders pops by
+        # (fire_at, seq) on its own, so the handoff is exact.
+        entries = self._heap
+        self._heap = []
+        self.__class__ = _AdaptiveCalendar
+        self._init_calendar()
+        push = _CalendarOps.push
+        for entry in entries:
+            push(self, entry)
+
+
+class _AdaptiveCalendar(_CalendarOps, AdaptiveTimers):
+    """Wheel mode of :class:`AdaptiveTimers` (pop checks the DOWN threshold)."""
+
+    __slots__ = ()
+
+    def pop(self) -> Tuple[float, int, Callable, tuple]:
+        """Calendar pop, migrating back to the heap below ``DOWN`` entries."""
+        # Inlined _CalendarOps.pop plus the downshift check: an extra
+        # call layer here is measurable at storm rates.
+        entry = self.head
+        if entry is None:
+            raise IndexError("pop from empty CalendarTimers")
+        size = self._size - 1
+        self._size = size
+        i = self._cur_i + 1
+        cur = self._cur
+        if i < len(cur):
+            self._cur_i = i
+            self.head = cur[i]
+        else:
+            self._promote()
+        if size < self.DOWN:
+            self._to_heap()
+        return entry
+
+    def _to_heap(self) -> None:
+        # Move the live set verbatim onto a fresh heap (see _to_calendar).
+        entries = [entry for bucket in self._buckets.values() for entry in bucket]
+        entries.extend(self._cur[self._cur_i :])
+        self._buckets = {}
+        self._cur = []
+        self.__class__ = _AdaptiveHeap
+        heapify(entries)
+        self._heap = entries
+        self.head = entries[0] if entries else None
+
+
 def _make_timers(mode: Optional[str]):
     """Build the timer queue selected by ``mode`` / ``REPRO_SIM_TIMERS``."""
-    mode = mode or os.environ.get("REPRO_SIM_TIMERS", "calendar")
+    mode = mode or os.environ.get("REPRO_SIM_TIMERS", "adaptive")
+    if mode == "adaptive":
+        return AdaptiveTimers()
     if mode == "calendar":
         return CalendarTimers()
     if mode == "heap":
         return HeapTimers()
-    raise ValueError(f"unknown timer queue {mode!r}; pick 'calendar' or 'heap'")
+    raise ValueError(
+        f"unknown timer queue {mode!r}; pick 'adaptive', 'calendar' or 'heap'"
+    )
+
 
 
 class Process(Signal):
@@ -826,11 +998,12 @@ class Simulator:
     merges the two by key, so the executed order is identical to the
     heap-only kernel while zero-delay scheduling costs O(1).
 
-    Positive delays go to the *timer queue*: a
-    :class:`CalendarTimers` bucketed wheel by default, or the
-    :class:`HeapTimers` binary heap (``timers="heap"`` /
-    ``REPRO_SIM_TIMERS=heap``).  Both order entries exactly by
-    ``(fire_at, sequence)``, so the choice never affects a trace.
+    Positive delays go to the *timer queue*: the :class:`AdaptiveTimers`
+    heap/wheel hybrid by default, or a pure :class:`CalendarTimers`
+    bucketed wheel / :class:`HeapTimers` binary heap
+    (``timers="calendar"``/``"heap"`` or ``REPRO_SIM_TIMERS``).  All
+    three order entries exactly by ``(fire_at, sequence)``, so the
+    choice never affects a trace.
     """
 
     def __init__(self, timers: Optional[str] = None) -> None:

@@ -129,17 +129,37 @@ class LatencyRecorder:
             if tags[i] == tag and (self._monotonic or ends[i] >= since)
         ]
 
-    def latencies_between(self, since_ms: float, before_ms: float) -> List[float]:
-        """Latencies of completions in ``[since_ms, before_ms)``, record order."""
+    def latencies_between(
+        self,
+        since_ms: float,
+        before_ms: float,
+        tags: Optional[Sequence[str]] = None,
+    ) -> List[float]:
+        """Latencies of completions in ``[since_ms, before_ms)``, record order.
+
+        ``tags`` restricts the result to samples whose tag is in the
+        given set — how co-tenancy scenarios split one shared latency
+        stream into per-application views.
+        """
         starts, ends = self._starts, self._ends
+        tagset = None if tags is None else set(tags)
         if self._monotonic:
             lo = bisect.bisect_left(ends, since_ms)
             hi = bisect.bisect_left(ends, before_ms)
-            return [ends[i] - starts[i] for i in range(lo, hi)]
+            if tagset is None:
+                return [ends[i] - starts[i] for i in range(lo, hi)]
+            sample_tags = self._tags
+            return [
+                ends[i] - starts[i]
+                for i in range(lo, hi)
+                if sample_tags[i] in tagset
+            ]
+        sample_tags = self._tags
         return [
             ends[i] - starts[i]
             for i in range(len(ends))
             if since_ms <= ends[i] < before_ms
+            and (tagset is None or sample_tags[i] in tagset)
         ]
 
     def count(self, since_ms: float = 0.0) -> int:

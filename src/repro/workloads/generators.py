@@ -140,6 +140,34 @@ class RampProfile:
             points.append((t, int(round(per_machine * machines))))
         return cls(points)
 
+    @classmethod
+    def diurnal(
+        cls,
+        duration_ms: float,
+        machines: int = 8,
+        min_per_machine: int = 1,
+        max_per_machine: int = 16,
+        cycles: int = 2,
+        steps: int = 48,
+    ) -> "RampProfile":
+        """Clients follow a day/night wave: ``cycles`` raised-cosine peaks.
+
+        Each cycle starts and ends at the night floor
+        (``min_per_machine``) and peaks mid-cycle at ``max_per_machine``
+        — the classic diurnal traffic shape elastic fleets are sized
+        against.  Drives the ``diurnal`` scenario (docs/SCENARIOS.md).
+        """
+        if cycles < 1:
+            raise ValueError(f"need at least one diurnal cycle, got {cycles}")
+        points: List[Tuple[float, int]] = []
+        for step in range(steps + 1):
+            t = duration_ms * step / steps
+            phase = (t / duration_ms) * cycles * 2.0 * math.pi
+            bump = 0.5 * (1.0 - math.cos(phase))
+            per_machine = min_per_machine + (max_per_machine - min_per_machine) * bump
+            points.append((t, int(round(per_machine * machines))))
+        return cls(points)
+
     def target_at(self, now_ms: float) -> int:
         """Target total client count at ``now_ms`` (step-hold)."""
         current = self.points[0][1] if self.points else 0

@@ -13,6 +13,7 @@ import random
 import pytest
 
 from repro.sim.kernel import (
+    AdaptiveTimers,
     CalendarTimers,
     HeapTimers,
     SimulationError,
@@ -184,7 +185,8 @@ def test_simulator_cancel_immediate_entry():
 
 
 def test_timer_mode_selection():
-    assert isinstance(Simulator()._timers, CalendarTimers)
+    assert isinstance(Simulator()._timers, AdaptiveTimers)
+    assert isinstance(Simulator(timers="adaptive")._timers, AdaptiveTimers)
     assert isinstance(Simulator(timers="heap")._timers, HeapTimers)
     assert isinstance(Simulator(timers="calendar")._timers, CalendarTimers)
     with pytest.raises(ValueError):
@@ -193,7 +195,7 @@ def test_timer_mode_selection():
 
 def test_run_trace_identical_across_timer_modes():
     # The same program must produce the same completion order and clock
-    # under both timer queues.
+    # under all three timer queues.
     def trace(mode):
         sim = Simulator(timers=mode)
         log = []
@@ -208,4 +210,70 @@ def test_run_trace_identical_across_timer_modes():
         sim.run()
         return log, sim.now
 
-    assert trace("calendar") == trace("heap")
+    assert trace("calendar") == trace("heap") == trace("adaptive")
+
+
+# ----------------------------------------------------------------------
+# AdaptiveTimers: heap below the threshold, wheel above, exact handoff
+# ----------------------------------------------------------------------
+def test_adaptive_starts_as_heap_and_migrates_both_ways():
+    ada = AdaptiveTimers()
+    assert ada.mode == "heap"
+    assert isinstance(ada, AdaptiveTimers)
+    entries = [_entry(float(i), i) for i in range(AdaptiveTimers.UP + 1)]
+    for entry in entries:
+        ada.push(entry)
+    # Crossed UP: now a calendar wheel (still the same object, still an
+    # AdaptiveTimers), with the same head.
+    assert ada.mode == "calendar"
+    assert isinstance(ada, AdaptiveTimers)
+    assert ada.head is entries[0]
+    # Drain below DOWN: back to a heap, order still exact.
+    drained = []
+    while len(ada) >= AdaptiveTimers.DOWN:
+        drained.append(ada.pop())
+    assert ada.mode == "heap"
+    drained.extend(_drain(ada))
+    assert drained == sorted(entries)
+
+
+def test_adaptive_randomized_equivalence_with_heap():
+    # Push/pop streams sized to cross the UP/DOWN thresholds repeatedly:
+    # every pop must match a reference heap exactly despite migrations.
+    rng = random.Random(99)
+    ada, heap = AdaptiveTimers(), HeapTimers()
+    seq = 0
+    now = 0.0
+    modes_seen = set()
+    for _ in range(6000):
+        grow = rng.random() < (0.7 if len(ada) < AdaptiveTimers.UP * 2 else 0.3)
+        if len(ada) and not grow:
+            entry = ada.pop()
+            assert heap.pop() is entry
+            now = entry[0]
+        else:
+            seq += 1
+            entry = _entry(now + rng.uniform(0.01, 20.0), seq)
+            ada.push(entry)
+            heap.push(entry)
+        modes_seen.add(ada.mode)
+        assert ada.head is heap.head
+    assert modes_seen == {"heap", "calendar"}, "stream never crossed the thresholds"
+    assert _drain(ada) == _drain(heap)
+
+
+def test_adaptive_cancel_in_both_modes():
+    ada = AdaptiveTimers()
+    small = [_entry(float(i), i) for i in range(4)]
+    for entry in small:
+        ada.push(entry)
+    ada.cancel(small[2])
+    assert _drain(ada) == [small[0], small[1], small[3]]
+    big = [_entry(float(i), i) for i in range(AdaptiveTimers.UP * 2)]
+    for entry in big:
+        ada.push(entry)
+    assert ada.mode == "calendar"
+    ada.cancel(big[5])
+    with pytest.raises(ValueError):
+        ada.cancel(big[5])
+    assert _drain(ada) == [e for e in big if e is not big[5]]

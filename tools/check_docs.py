@@ -96,9 +96,47 @@ def check_figures(files: list[Path]) -> list[str]:
     return errors
 
 
+def check_scenarios(files: list[Path]) -> list[str]:
+    """Cross-check scenario names between the docs and the registry.
+
+    1. every registered scenario is documented in docs/SCENARIOS.md;
+    2. every ``--scenario NAME`` example anywhere in the docs names a
+       registered scenario;
+    3. every legacy figure name stays a registered scenario (the
+       ``figN()`` aliases and the registry never drift apart).
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    from repro.harness.scenarios import list_scenarios
+
+    errors = []
+    registered = set(list_scenarios())
+    for name in sorted(set(ALL_EXPERIMENTS) - registered):
+        errors.append(
+            f"registry: legacy experiment {name!r} has no registered scenario"
+        )
+    scenarios_md = REPO / "docs" / "SCENARIOS.md"
+    if not scenarios_md.exists():
+        errors.append("docs/SCENARIOS.md: missing (scenario reference)")
+        return errors
+    text = scenarios_md.read_text()
+    for name in sorted(registered):
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            errors.append(f"docs/SCENARIOS.md: scenario {name!r} is undocumented")
+    flag_re = re.compile(r"--scenario[= ]([A-Za-z0-9_]+)")
+    for f in files:
+        for name in sorted(set(flag_re.findall(f.read_text())) - {"NAME"}):
+            if name not in registered:
+                errors.append(
+                    f"{f.relative_to(REPO)}: '--scenario {name}' names an "
+                    f"unregistered scenario ({', '.join(sorted(registered))})"
+                )
+    return errors
+
+
 def main() -> int:
     files = doc_files()
-    errors = check_links(files) + check_figures(files)
+    errors = check_links(files) + check_figures(files) + check_scenarios(files)
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if errors:

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Byte-compare two experiment JSON dumps (the --json output format).
+
+Usage::
+
+    python tools/compare_figures.py GOLDEN.json ACTUAL.json [FIGURE ...]
+
+Compares the ``experiments`` payloads figure by figure (all figures
+present in GOLDEN by default, or only the named ones).  Exit code 0
+when every compared figure is byte-identical after canonical JSON
+re-serialization (sorted keys), 1 otherwise — the CI experiments-smoke
+job runs this against ``tests/data/figures_quick_seed0.json`` to pin
+every figure's data across the whole stack, not just the fast ones
+tier-1 re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def canonical(value) -> str:
+    return json.dumps(value, sort_keys=True)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    golden_path, actual_path, *names = argv
+    golden = json.load(open(golden_path))["experiments"]
+    actual = json.load(open(actual_path))["experiments"]
+    names = names or sorted(golden)
+    failures = 0
+    for name in names:
+        if name not in golden:
+            print(f"compare_figures: {name}: not in {golden_path}", file=sys.stderr)
+            failures += 1
+            continue
+        if name not in actual:
+            print(f"compare_figures: {name}: missing from {actual_path}", file=sys.stderr)
+            failures += 1
+            continue
+        if canonical(golden[name]) == canonical(actual[name]):
+            print(f"compare_figures: {name}: byte-identical")
+        else:
+            print(f"compare_figures: {name}: MISMATCH", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"compare_figures: {failures} figure(s) diverged", file=sys.stderr)
+        return 1
+    print(f"compare_figures: OK ({len(names)} figures)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
