@@ -228,6 +228,11 @@ class ContextClass:
     # These are assigned by the runtime in ``bind`` before __init__.
     _aeon_runtime: Any = None
     _aeon_cid: str = ""
+    #: True after the hosting server crashed with crash realism enabled:
+    #: the volatile state is gone and method execution must fail until a
+    #: restore/rehydration repopulates it (class default keeps the flag
+    #: off the per-instance dict, so the common case costs nothing).
+    _aeon_state_dropped: bool = False
 
     def __new__(cls, *args: Any, **kwargs: Any) -> "ContextClass":
         instance = super().__new__(cls)
@@ -317,25 +322,93 @@ class ContextClass:
             name: [ref.cid for ref in view]
             for name, view in self._aeon_refsets.items()
         }
+        state["__version__"] = self._aeon_version
         return state
 
-    def state_restore(self, state: Dict[str, Any]) -> None:
+    def state_restore(
+        self,
+        state: Dict[str, Any],
+        *,
+        restore_version: bool = False,
+        restore_structure: bool = False,
+    ) -> int:
         """Reset the plain persistent fields from a snapshot bundle entry.
 
         The crash-recovery path (§5.3): the context's volatile state is
-        rolled back to the checkpoint.  Ref/RefSet wiring is left alone
-        — ownership edges and the context mapping live in the runtime
-        and cloud storage, not on the crashed server — and the version
-        counter is bumped so later readers observe the rollback as a
-        write.  Values are deep-copied in: the same durable bundle may
-        restore this context again after a second crash, so the live
+        rolled back to the checkpoint.  By default Ref/RefSet wiring is
+        left alone — ownership edges and the context mapping live in the
+        runtime and cloud storage, not on the crashed server — and the
+        version counter is bumped so later readers observe the rollback
+        as a write.  Values are deep-copied in: the same durable bundle
+        may restore this context again after a second crash, so the live
         instance must never share mutables with it.
+
+        With ``restore_version`` (the honest-recovery path) the version
+        counter is instead reset to the snapshot's ``__version__``, and
+        the return value is the number of committed writes the rollback
+        discarded (0 when the snapshot is at least as new as the live
+        state).  With ``restore_structure`` the Ref/RefSet wiring is
+        additionally rebuilt from the snapshot's ``__refs__``/
+        ``__refsets__`` entries, re-maintaining ownership edges through
+        the normal descriptors — delta-restored subtrees rebuild their
+        wiring without a full re-base.
+
+        Either way the instance is live again afterwards: a crash-time
+        state drop (see :meth:`drop_volatile_state`) is cleared.
         """
         for key, value in state.items():
-            if key in ("__refs__", "__refsets__"):
+            if key in ("__refs__", "__refsets__", "__version__"):
                 continue
             setattr(self, key, copy.deepcopy(value))
-        self._aeon_version += 1
+        if restore_structure:
+            self._restore_wiring(state)
+        rolled_back = 0
+        if restore_version and "__version__" in state:
+            restored = int(state["__version__"])
+            rolled_back = max(0, self._aeon_version - restored)
+            self._aeon_version = restored
+        else:
+            self._aeon_version += 1
+        if self._aeon_state_dropped:
+            del self._aeon_state_dropped  # fall back to the class default
+        return rolled_back
+
+    def _restore_wiring(self, state: Dict[str, Any]) -> None:
+        """Rebuild Ref/RefSet fields from a snapshot's structure entries."""
+        runtime = self._aeon_runtime
+
+        def make_ref(cid: str) -> ContextRef:
+            target = runtime.instances.get(cid) if runtime is not None else None
+            type_name = type(target).__name__ if target is not None else "?"
+            return ContextRef(cid, type_name)
+
+        for name, cid in sorted((state.get("__refs__") or {}).items()):
+            current = self._aeon_refs.get(name)
+            if (current.cid if current else None) == cid:
+                continue
+            setattr(self, name, make_ref(cid) if cid else None)
+        for name, cids in sorted((state.get("__refsets__") or {}).items()):
+            view = getattr(self, name)
+            wanted = set(cids)
+            for ref in list(view):
+                if ref.cid not in wanted:
+                    view.discard(ref)
+            for cid in sorted(wanted):
+                if ContextRef(cid, "?") not in view:
+                    view.add(make_ref(cid))
+
+    def drop_volatile_state(self) -> int:
+        """Mark the in-memory state as lost (the host crashed).
+
+        Honest fail-stop semantics: the attribute values stay around
+        only as simulator bookkeeping (so recovery can quantify the
+        rolled-back work), but any method execution fails until a
+        checkpoint restore repopulates the context.  Returns the version
+        at the moment of the crash — the high-water mark of committed
+        writes the crash made volatile.
+        """
+        self._aeon_state_dropped = True
+        return self._aeon_version
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self._aeon_cid}>"

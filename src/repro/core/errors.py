@@ -10,6 +10,7 @@ __all__ = [
     "OwnershipViolationError",
     "ReadOnlyViolationError",
     "MigrationError",
+    "FencedError",
     "RetryableError",
     "is_retryable",
 ]
@@ -62,3 +63,17 @@ class ReadOnlyViolationError(AeonError):
 
 class MigrationError(AeonError):
     """A context migration could not be carried out consistently."""
+
+
+class FencedError(AeonError):
+    """An actor with a stale fencing epoch attempted a write.
+
+    Raised when fencing is enabled and a server (or an eManager acting
+    on its behalf) whose subtree epoch predates the current fencing
+    epoch tries to mutate context state or append to the migration WAL.
+    Retryable from the *client's* point of view — resubmitting re-routes
+    the operation to the new owner once the handoff completes (the
+    stale node itself must never retry in place).
+    """
+
+    retryable = True

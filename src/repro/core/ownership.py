@@ -39,12 +39,145 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from .errors import OwnershipCycleError, UnknownContextError
+from .errors import FencedError, OwnershipCycleError, UnknownContextError
 
-__all__ = ["OwnershipNetwork", "VIRTUAL_PREFIX"]
+__all__ = ["FencingTable", "OwnershipNetwork", "VIRTUAL_PREFIX"]
 
 VIRTUAL_PREFIX = "~vroot:"
 """Prefix of automatically created virtual (unnamed) join contexts."""
+
+
+class FencingTable:
+    """Per-subtree fencing epochs for honest failure handling.
+
+    Each checkpoint root carries a monotonically increasing *fencing
+    epoch*.  When the failure detector **declares** a server dead the
+    recovery manager bumps the epoch of every subtree hosted there
+    (:meth:`fence`) — from that instant, writes anywhere in the fenced
+    subtree raise :class:`FencedError` until a new holder is granted the
+    fresh epoch (:meth:`grant`).  The table never consults cluster
+    ground truth: it is driven purely by declarations and grants, so a
+    live-but-partitioned owner is fenced exactly like a dead one.
+
+    A separate *manager epoch* fences the eManager itself: a recovered
+    successor bumps it, and the predecessor's migration-WAL appends are
+    rejected as stale (see ``MigrationCoordinator._log``).
+
+    All state is mirrored to cloud storage by the eManager so that a
+    successor rebuilds the same table after a failover.
+    """
+
+    def __init__(self) -> None:
+        self._epochs: Dict[str, int] = {}
+        self._fenced: Set[str] = set()
+        self._holders: Dict[str, Optional[str]] = {}
+        self._root_of: Dict[str, str] = {}
+        self.manager_epoch = 0
+        #: Writes rejected by :meth:`check_write` (stale-owner attempts).
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def track(self, root: str, members: Iterable[str], holder: Optional[str]) -> None:
+        """Register ``root`` (and its member cids) as a fenceable subtree."""
+        self._epochs.setdefault(root, 0)
+        self._holders.setdefault(root, holder)
+        for member in members:
+            self._root_of[member] = root
+
+    def roots(self) -> List[str]:
+        """All tracked subtree roots, sorted."""
+        return sorted(self._epochs)
+
+    def root_of(self, cid: str) -> Optional[str]:
+        """The tracked subtree root covering ``cid`` (None if untracked)."""
+        return self._root_of.get(cid)
+
+    # ------------------------------------------------------------------
+    # Epoch protocol
+    # ------------------------------------------------------------------
+    def epoch(self, root: str) -> int:
+        """Current fencing epoch of ``root`` (0 if never fenced)."""
+        return self._epochs.get(root, 0)
+
+    def holder(self, root: str) -> Optional[str]:
+        """Server currently granted ``root`` (None while fenced)."""
+        return self._holders.get(root)
+
+    def is_fenced(self, root: str) -> bool:
+        """Whether ``root`` is fenced (declared, handoff still pending)."""
+        return root in self._fenced
+
+    def fence(self, root: str) -> int:
+        """Bump ``root``'s epoch and reject writes until a new grant.
+
+        Idempotent while already fenced (a lease re-declaration must not
+        bump again, or the eventual grant would race the re-declaration).
+        Returns the new epoch.
+        """
+        if root not in self._fenced:
+            self._epochs[root] = self._epochs.get(root, 0) + 1
+            self._fenced.add(root)
+            self._holders[root] = None
+        return self._epochs[root]
+
+    def grant(self, root: str, holder: str) -> int:
+        """Hand ``root`` to ``holder`` at the current epoch; lifts the fence."""
+        self._fenced.discard(root)
+        self._holders[root] = holder
+        return self._epochs.get(root, 0)
+
+    def check_write(self, cid: str) -> None:
+        """Raise :class:`FencedError` if ``cid`` sits in a fenced subtree.
+
+        O(1); called on the write path only when fencing is enabled.
+        """
+        root = self._root_of.get(cid)
+        if root is not None and root in self._fenced:
+            self.rejected += 1
+            raise FencedError(
+                f"write to {cid!r} rejected: subtree {root!r} is fenced at "
+                f"epoch {self._epochs.get(root, 0)} pending handoff"
+            )
+
+    def adopt_epoch(self, root: str, epoch: int) -> None:
+        """Adopt a durably persisted epoch for ``root``.
+
+        Failover path: a successor rebuilding the table from cloud
+        storage takes the stored epoch when it is ahead of the local one
+        — epochs only ever move forward.
+        """
+        if int(epoch) > self._epochs.get(root, 0):
+            self._epochs[root] = int(epoch)
+
+    def bump_manager(self) -> int:
+        """Bump the eManager fencing epoch (successor takeover)."""
+        self.manager_epoch += 1
+        return self.manager_epoch
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A serializable copy of the whole table (for cloud storage)."""
+        return {
+            "manager_epoch": self.manager_epoch,
+            "epochs": dict(self._epochs),
+            "fenced": sorted(self._fenced),
+            "holders": dict(self._holders),
+        }
+
+    def restore(self, payload: Dict[str, object]) -> None:
+        """Overwrite epoch state from a :meth:`snapshot` payload.
+
+        Membership (``track``) is re-derived by the caller from the
+        ownership network; only epochs, fences and holders persist.
+        """
+        self.manager_epoch = int(payload.get("manager_epoch", 0))
+        self._epochs.update(payload.get("epochs", {}))  # type: ignore[arg-type]
+        self._fenced.update(payload.get("fenced", ()))  # type: ignore[arg-type]
+        self._holders.update(payload.get("holders", {}))  # type: ignore[arg-type]
 
 
 class OwnershipNetwork:

@@ -32,6 +32,7 @@ from .errors import (
     OwnershipCycleError,
     OwnershipViolationError,
     ReadOnlyViolationError,
+    RetryableError,
     UnknownContextError,
 )
 from .events import (
@@ -45,7 +46,7 @@ from .events import (
 )
 from .history import HistoryRecorder
 from .locking import ContextLock
-from .ownership import OwnershipNetwork
+from .ownership import FencingTable, OwnershipNetwork
 
 __all__ = ["RuntimeBase", "ClientHandle", "Branch", "FAILED_TAG"]
 
@@ -181,6 +182,14 @@ class RuntimeBase:
         self.events_inflight = 0
         self.events_completed = 0
         self.events_failed = 0
+        #: Honest failure semantics (all off by default, enabled by the
+        #: eManager's fault-tolerance wiring): a fencing table rejects
+        #: writes into declared-dead subtrees, crashed servers drop their
+        #: contexts' volatile state, and restores account the committed
+        #: writes a rollback discarded.
+        self.fencing: Optional[FencingTable] = None
+        self.writes_rolled_back = 0
+        self._honest = False
         self._charge_obj = CpuCharge(None, 0.0)  # reused; see _charge
         # Per-event lock bookkeeping (held set, open branch count,
         # quiescence signal, deferred lock list) lives on the Event
@@ -370,6 +379,37 @@ class RuntimeBase:
             self.network.register(name)
         return handle
 
+    def enable_honest_failures(self, fencing: Optional[FencingTable] = None) -> None:
+        """Turn on honest failure semantics for this runtime.
+
+        Installs the (optional) fencing table on the write path and
+        activates the dropped-state check in the body driver.  Called by
+        the eManager's fault-tolerance wiring; never on the default path,
+        so golden-pinned runs execute byte-identically.
+        """
+        self._honest = True
+        if fencing is not None:
+            self.fencing = fencing
+
+    def drop_server_state(self, server_name: str) -> int:
+        """Crash realism: drop the volatile state of a server's contexts.
+
+        Called from the server's crash hook.  Every context currently
+        placed on ``server_name`` loses its in-memory state (methods fail
+        until a restore rehydrates it); the pre-crash version survives as
+        bookkeeping so recovery can count the rolled-back writes.
+        Returns the number of contexts dropped.
+        """
+        dropped = 0
+        for cid in sorted(self.placement):
+            if self.placement[cid] != server_name:
+                continue
+            instance = self.instances.get(cid)
+            if instance is not None:
+                instance.drop_volatile_state()
+                dropped += 1
+        return dropped
+
     def invalidate_cached_locations(self, server_name: str) -> int:
         """Push-invalidate every client cache entry pointing at a server.
 
@@ -519,6 +559,18 @@ class RuntimeBase:
                 f"read-only event {event.eid} called non-readonly "
                 f"{type(instance).__name__}.{spec.method}"
             )
+        # Honest failure semantics (off on the default fast path): a
+        # context whose host crashed has no state until rehydrated, and
+        # writes into a fenced (declared-dead) subtree are rejected
+        # before they can mutate anything.
+        if self._honest:
+            if instance._aeon_state_dropped:
+                raise RetryableError(
+                    f"context {instance.cid!r} lost its volatile state in a "
+                    f"crash; retry after checkpoint rehydration"
+                )
+            if not ro_method and self.fencing is not None:
+                self.fencing.check_write(instance.cid)
         # Version tracking (_record_access, inlined: once per call).
         cid = instance.cid
         writes = event.writes

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
-from ..core.errors import MigrationError
+from ..core.errors import FencedError, MigrationError
 from ..core.events import AccessMode, CallSpec, Event
 from ..core.runtime import RuntimeBase
 from ..sim.cluster import Server
@@ -96,6 +96,16 @@ class MigrationCoordinator:
         #: Set on eManager crash: in-flight migrations stop at their
         #: next step boundary, leaving their WAL record for recovery.
         self.halted = False
+        #: Honest failure semantics (wired by the eManager; default off):
+        #: ``honest`` makes restores reset versions from the snapshot and
+        #: account rolled-back writes; ``fenced`` makes every WAL append
+        #: validate ``acting_epoch`` against the durable manager epoch,
+        #: so a predecessor eManager that lost a failover cannot corrupt
+        #: the WAL its successor now owns.
+        self.honest = False
+        self.fenced = False
+        self.acting_epoch = 0
+        self.fenced_appends = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -297,7 +307,12 @@ class MigrationCoordinator:
                 )
                 instance = self.runtime.instances.get(record.cid)
                 if instance is not None and state is not None:
-                    instance.state_restore(state)
+                    rolled = instance.state_restore(
+                        state,
+                        restore_version=self.honest,
+                        restore_structure=self.honest,
+                    )
+                    self.runtime.writes_rolled_back += rolled
                 self._apply_restore_placement(record)
                 yield from self._log(record, "moved")
             finally:
@@ -352,7 +367,23 @@ class MigrationCoordinator:
         dst_server.context_count += 1
 
     def _log(self, record: MigrationRecord, step: str) -> Generator:
-        """Persist the WAL record for crash recovery (§5.3)."""
+        """Persist the WAL record for crash recovery (§5.3).
+
+        With fencing enabled the append is conditional on the manager
+        epoch (a compare-and-set against the durable ``fencing/manager``
+        key): a coordinator whose ``acting_epoch`` lags the epoch a
+        recovered successor wrote is stale and its append is rejected —
+        it cannot race the successor on the WAL.
+        """
+        if self.fenced:
+            current = self.storage.peek("fencing/manager")
+            if current is not None and int(current) > self.acting_epoch:
+                self.fenced_appends += 1
+                raise FencedError(
+                    f"WAL append for migration {record.migration_id} rejected: "
+                    f"manager epoch {self.acting_epoch} is stale "
+                    f"(current {int(current)})"
+                )
         record.step = step
         key = f"migration/{record.migration_id}"
         if step == "done":

@@ -227,6 +227,15 @@ class DeltaCheckpointer:
         self.max_chain = max_chain
         #: Per-context ``_aeon_version`` as of the last written bundle.
         self._last_versions: Dict[str, int] = {}
+        #: Per-context ownership signature (sorted direct children) as of
+        #: the last bundle that shipped the context, plus the ownership
+        #: epoch last examined: a wiring change (ref/refset mutation)
+        #: whose data version held still is shipped as a *delta* — the
+        #: snapshot states embed ``__refs__``/``__refsets__``, so a
+        #: restore rebuilds the subtree's wiring from the chain without
+        #: needing a full re-base.
+        self._struct_sigs: Dict[str, Tuple[str, ...]] = {}
+        self._ownership_epoch = -1
         #: Versions at which a context's ``state_snapshot`` returned
         #: None (the checkpoint-skipping override): while the version
         #: holds still, the decision holds too and the call is skipped.
@@ -322,6 +331,26 @@ class DeltaCheckpointer:
             self.skipped += 1  # nothing checkpointable yet
             return None, "skip"
         rebase = not last or self._chain >= self.max_chain
+        ownership = runtime.ownership
+        if not rebase and self._ownership_epoch != ownership.epoch:
+            # The ownership network moved since the last bundle: ship any
+            # member whose direct wiring changed even though its data
+            # version held still (a leaf gained/lost elsewhere bumps the
+            # global epoch without touching this subtree — the signature
+            # check keeps those bundles as cheap skips).
+            for cid in sorted(versions):
+                if cid in states or cid not in ownership:
+                    continue
+                signature = tuple(sorted(ownership.children(cid)))
+                if self._struct_sigs.get(cid) == signature:
+                    continue
+                instance = runtime.instances.get(cid)
+                state = instance.state_snapshot() if instance is not None else None
+                if state is None:
+                    continue
+                states[cid] = state
+                changed.append(cid)
+        self._ownership_epoch = ownership.epoch
         if not rebase and not changed:
             self.skipped += 1
             return None, "skip"
@@ -348,6 +377,9 @@ class DeltaCheckpointer:
             key = f"{self.key}/delta/{self._chain}"
             kind = "delta"
             self.deltas_written += 1
+        for cid in shipped:
+            if cid in ownership:
+                self._struct_sigs[cid] = tuple(sorted(ownership.children(cid)))
         self._seq += 1
         bundle = {
             "kind": kind,

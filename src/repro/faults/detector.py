@@ -88,6 +88,11 @@ class FailureDetector:
         self.detections: List[Detection] = []
         self.heartbeats_received = 0
         self.redeclarations = 0
+        #: Fencing epoch carried by each server's latest heartbeat (the
+        #: epoch the sender *believes* it holds).  Recovery hooks compare
+        #: this against the fencing table to spot a stale owner that
+        #: came back after being fenced.
+        self.last_epochs: Dict[str, int] = {}
         self._last_seen: Dict[str, float] = {}
         self._declared_at: Dict[str, float] = {}
         self._watched: Set[str] = set()
@@ -127,6 +132,7 @@ class FailureDetector:
         # a sender for every current server.
         self._watched.clear()
         self._last_seen.clear()
+        self.last_epochs.clear()
         self.suspected.clear()
         self._declared_at.clear()
         for name in sorted(self.cluster.servers):
@@ -164,10 +170,14 @@ class FailureDetector:
             and server.name in self.cluster.servers
         ):
             if server.alive:
+                # The heartbeat carries the sender's fencing epoch: a
+                # fenced server that comes back announces its (stale)
+                # belief, and the recovery hook re-admits it at the
+                # current epoch instead of letting it race the new owner.
                 self.network.send(
                     server.name,
                     self.name,
-                    ("hb", server.name),
+                    ("hb", server.name, server.fencing_epoch),
                     size_bytes=self.heartbeat_bytes,
                 )
             yield interval
@@ -181,6 +191,8 @@ class FailureDetector:
             source = payload[1]
             self.heartbeats_received += 1
             self._last_seen[source] = self.sim.now
+            if len(payload) > 2:
+                self.last_epochs[source] = payload[2]
             if source in self.suspected:
                 self.suspected.discard(source)
                 self._declared_at.pop(source, None)
@@ -202,6 +214,7 @@ class FailureDetector:
             for name in sorted(self._watched - servers.keys()):
                 self._watched.discard(name)
                 self._last_seen.pop(name, None)
+                self.last_epochs.pop(name, None)
                 self.suspected.discard(name)
                 self._declared_at.pop(name, None)
             now = self.sim.now

@@ -44,6 +44,7 @@ from ..faults import (
     FailureDetector,
     FaultInjector,
     FaultSchedule,
+    NetworkPartition,
     ServerCrash,
     random_churn,
 )
@@ -214,11 +215,21 @@ class FaultSpec:
 
     ``kind="crash"`` is the fig10 single mid-run fail-stop (placed by
     run fractions); ``kind="churn"`` is the fig11 sustained
-    crash/restart churn (exponential arrivals).  Zero-valued sizing
-    fields fall back to the scale preset.
+    crash/restart churn (exponential arrivals); ``kind="split_brain"``
+    is an *asymmetric* partition (detector + eManager cut off from one
+    server while clients still reach it) that never heals within the
+    run; ``kind="partition_recovery"`` is the same cut healing while
+    recovery is mid-flight.  Zero-valued sizing fields fall back to the
+    scale preset.
+
+    The honest-failure knobs (``fencing``, ``honest_recovery``,
+    ``crash_drops_state``) all default **off**, which keeps every legacy
+    figure byte-identical; the partition kinds are expected to turn at
+    least ``honest_recovery`` on — with it off, recovery would peek
+    ground truth, see a live server and skip the restore entirely.
     """
 
-    kind: str = "none"  # "none" | "crash" | "churn"
+    kind: str = "none"  # "none" | "crash" | "churn" | "split_brain" | "partition_recovery"
     heartbeat_ms: float = 200.0
     lease_ms: float = 650.0
     check_ms: float = 100.0
@@ -237,6 +248,14 @@ class FaultSpec:
     goodput_fraction: float = 0.85
     p99_multiplier: float = 3.0
     p99_floor_ms: float = 20.0
+    # honest failure semantics (all default off — legacy byte-identical):
+    fencing: bool = False
+    honest_recovery: bool = False
+    crash_drops_state: bool = False
+    fence_grace_ms: float = 300.0
+    # partition placement (split_brain / partition_recovery kinds):
+    partition_frac: float = 0.35
+    partition_ms: float = 0.0  # 0 -> kind-specific default
 
 
 @dataclass(frozen=True)
@@ -748,11 +767,18 @@ def _fault_run(
     crash/restart churn scored against the windowed availability SLO.
     The wiring (and the returned dicts) are byte-identical to the
     historical ``fig10_run``/``fig11_run`` drivers.
+
+    ``"split_brain"`` / ``"partition_recovery"`` cut the detector and
+    eManager off from one server (clients still reach it — an
+    *asymmetric* partition) and exercise the honest-failure knobs:
+    fencing epochs, step-down flushes and rolled-back-write accounting.
     """
     f = spec.faults
-    if f.kind not in ("crash", "churn"):
+    if f.kind not in ("crash", "churn", "split_brain", "partition_recovery"):
         raise ScenarioError(f"unknown fault kind {f.kind!r}")
     churn = f.kind == "churn"
+    partition = f.kind in ("split_brain", "partition_recovery")
+    honest = f.fencing or f.honest_recovery or f.crash_drops_state
     duration = spec.duration_ms or (
         sizing.churn_duration_ms if churn else sizing.fault_duration_ms
     )
@@ -785,6 +811,12 @@ def _fault_run(
         # per-grain (fuzzy) persistence real Orleans offers.
         consistent_checkpoints=(system != "orleans"),
         checkpoint_mode=f.checkpoint_mode,
+        fencing=f.fencing,
+        # False means "unset" here: the eManager then defaults honest
+        # recovery to the fencing flag, so fencing alone is coherent.
+        honest_recovery=(f.honest_recovery or None),
+        crash_drops_state=f.crash_drops_state,
+        fence_grace_ms=f.fence_grace_ms,
     )
     detector.start()
 
@@ -798,6 +830,31 @@ def _fault_run(
             mean_time_between_crashes_ms=f.mtbf_ms or sizing.churn_mtbf_ms,
             restart_delay_ms=restart_ms,
             start_ms=churn_start,
+        )
+    elif partition:
+        # Asymmetric cut: the detector and eManager lose the victim, but
+        # clients (in neither group) still reach it — the old owner keeps
+        # receiving traffic while recovery re-places its subtrees.
+        victim = testbed.servers[f.victim].name
+        partition_at = duration * f.partition_frac
+        if f.partition_ms:
+            partition_len = f.partition_ms
+        elif f.kind == "split_brain":
+            # Never heals within the run (including the drain tail).
+            partition_len = duration + 3000.0 - partition_at
+        else:
+            # partition_recovery: heal lands inside the step-down grace
+            # window — mid-recovery, after declaration, before restore.
+            partition_len = f.lease_ms + f.check_ms + 0.5 * f.fence_grace_ms
+        schedule = FaultSchedule(
+            [
+                NetworkPartition(
+                    partition_at,
+                    partition_len,
+                    group_a=("~fdetector", "~emanager"),
+                    group_b=(victim,),
+                )
+            ]
         )
     else:
         victim = testbed.servers[f.victim].name
@@ -833,8 +890,41 @@ def _fault_run(
     p99 = runtime.latency.windowed_percentile(
         99.0, f.window_ms, duration, exclude_tag=FAILED_TAG
     )
-    if not churn:
+    detections = [
+        {
+            "server": d.server,
+            "detected_at_ms": d.detected_at_ms,
+            "latency_ms": d.latency_ms,
+        }
+        for d in detector.detections
+    ]
+    if partition:
         return {
+            "system": system,
+            "duration_ms": duration,
+            "partition_at_ms": partition_at,
+            "partition_heal_ms": partition_at + partition_len,
+            "victim": victim,
+            "fencing": f.fencing,
+            "goodput": goodput.points,
+            "p99": p99.points,
+            "events_failed": runtime.events_failed,
+            "client_errors": len(clients.errors),
+            "client_retries": clients.retries,
+            "detections": detections,
+            "false_detections": manager.false_detections,
+            "lost_updates": runtime.writes_rolled_back,
+            "fenced_writes": (
+                manager.fencing.rejected if manager.fencing is not None else 0
+            ),
+            "flush_restores": manager.flush_restores,
+            "contexts_recovered": manager.contexts_recovered,
+            "recoveries": manager.recovery_log,
+            "checkpoints_taken": manager.checkpoints_taken,
+            "fault_log": injector.log,
+        }
+    if not churn:
+        result = {
             "system": system,
             "duration_ms": duration,
             "crash_at_ms": crash_at,
@@ -845,19 +935,16 @@ def _fault_run(
             "events_failed": runtime.events_failed,
             "client_errors": len(clients.errors),
             "client_retries": clients.retries,
-            "detections": [
-                {
-                    "server": d.server,
-                    "detected_at_ms": d.detected_at_ms,
-                    "latency_ms": d.latency_ms,
-                }
-                for d in detector.detections
-            ],
+            "detections": detections,
             "recoveries": manager.recovery_log,
             "contexts_recovered": manager.contexts_recovered,
             "checkpoints_taken": manager.checkpoints_taken,
             "fault_log": injector.log,
         }
+        if honest:
+            # Conditional: legacy fig10 payloads stay byte-identical.
+            result["lost_work"] = runtime.writes_rolled_back
+        return result
     slo = availability_slo(
         goodput.points,
         p99.points,
@@ -872,6 +959,10 @@ def _fault_run(
         goodput_fraction=f.goodput_fraction,
         p99_multiplier=f.p99_multiplier,
         p99_floor_ms=f.p99_floor_ms,
+        # Lost *work* (acked writes rolled back at crash/recovery) rides
+        # along only under honest semantics; None keeps the legacy fig11
+        # payload byte-identical.
+        lost_work=(runtime.writes_rolled_back if honest else None),
     )
     detect_latencies = [
         d.latency_ms for d in detector.detections if d.latency_ms is not None
@@ -1449,6 +1540,39 @@ def _assemble_ablation(spec, cells, results):
     }
 
 
+def _assemble_split_brain(spec, cells, results):
+    """``{"fenced"/"unfenced": run}`` plus the lost-updates invariant.
+
+    The invariant the scenario exists to prove: **zero** lost updates
+    with fencing on (the step-down flush preserves every acked write),
+    a **nonzero** count with fencing off (restore rolls back to the
+    last periodic checkpoint while the old owner was still serving).
+    """
+    runs: Dict[str, Dict[str, object]] = {}
+    for cell, result in zip(cells, results):
+        label = "fenced" if cell.key[1] else "unfenced"
+        runs[label] = result.value
+    fenced = runs.get("fenced")
+    unfenced = runs.get("unfenced")
+    return {
+        "runs": runs,
+        "invariant": {
+            "fenced_lost_updates": (
+                fenced["lost_updates"] if fenced is not None else None
+            ),
+            "unfenced_lost_updates": (
+                unfenced["lost_updates"] if unfenced is not None else None
+            ),
+            "zero_loss_with_fencing": (
+                fenced is not None and fenced["lost_updates"] == 0
+            ),
+            "loss_without_fencing": (
+                unfenced is not None and unfenced["lost_updates"] > 0
+            ),
+        },
+    }
+
+
 def _assemble_churn_sweep(spec, cells, results):
     rows = []
     runs: Dict[str, object] = {}
@@ -1650,6 +1774,61 @@ def _render_fig11(spec, data) -> str:
         table
         + f"\n\ndelta checkpoints: {delta_bytes:,} bytes vs full "
         + f"{full_bytes:,} bytes ({saving:.1f}% saved on identical churn)"
+    )
+
+
+def _render_split_brain(spec, data) -> str:
+    rows = []
+    for label in ("fenced", "unfenced"):
+        run = data["runs"].get(label)
+        if run is None:
+            continue
+        rows.append(
+            [
+                label,
+                run["lost_updates"],
+                run["fenced_writes"],
+                run["flush_restores"],
+                run["contexts_recovered"],
+                run["false_detections"],
+                run["events_failed"],
+                run["client_retries"],
+            ]
+        )
+    table = format_table(
+        spec.title,
+        ["mode", "lost upd", "fenced wr", "flush rst", "ctx restored",
+         "false det", "failed", "retries"],
+        rows,
+    )
+    inv = data["invariant"]
+    return (
+        table
+        + f"\n\nzero lost updates with fencing: {inv['zero_loss_with_fencing']}"
+        + f"; lost updates without fencing: {inv['unfenced_lost_updates']}"
+    )
+
+
+def _render_partition_recovery(spec, data) -> str:
+    rows = []
+    for system, run in data.items():
+        rows.append(
+            [
+                system,
+                round(run["partition_at_ms"], 1),
+                round(run["partition_heal_ms"], 1),
+                run["lost_updates"],
+                run["flush_restores"],
+                run["contexts_recovered"],
+                run["false_detections"],
+                run["events_failed"],
+            ]
+        )
+    return format_table(
+        spec.title,
+        ["system", "cut ms", "heal ms", "lost upd", "flush rst",
+         "ctx restored", "false det", "failed"],
+        rows,
     )
 
 
@@ -2031,6 +2210,63 @@ def _churn_sweep() -> ScenarioSpec:
         output="churn_sweep",
         assemble=f"{_SCN}:_assemble_churn_sweep",
         render=f"{_SCN}:_render_churn_sweep",
+    )
+
+
+@scenario
+def _split_brain() -> ScenarioSpec:
+    """Asymmetric partition: fencing's zero-lost-updates invariant."""
+    return ScenarioSpec(
+        name="split_brain",
+        title="Split brain — fencing epochs vs lost updates (asymmetric partition)",
+        description="An asymmetric partition cuts the detector and eManager "
+        "off from one server while clients still reach it; recovery "
+        "re-places its subtrees while the old owner keeps serving.  With "
+        "fencing the old owner is fenced at declaration and its step-down "
+        "flush preserves every acked write (zero lost updates); with "
+        "fencing off the restore rolls back to the last periodic "
+        "checkpoint and the rolled-back writes are counted.",
+        app="game",
+        systems=("aeon",),
+        servers=4,
+        game=GameSpec(players_per_room=4, shared_items_per_room=2),
+        workload=WorkloadSpec(think_ms=8.0, max_retries=3),
+        faults=FaultSpec(
+            kind="split_brain",
+            honest_recovery=True,
+            crash_drops_state=True,
+        ),
+        axes=(("fencing", (True, False)),),
+        output="split_brain",
+        assemble=f"{_SCN}:_assemble_split_brain",
+        render=f"{_SCN}:_render_split_brain",
+    )
+
+
+@scenario
+def _partition_recovery() -> ScenarioSpec:
+    """A partition healing mid-recovery: re-admission without data loss."""
+    return ScenarioSpec(
+        name="partition_recovery",
+        title="Partition recovery — the cut heals mid-recovery (fencing on)",
+        description="The detector-side partition heals inside the fencing "
+        "step-down grace window, while recovery is mid-flight: the "
+        "returning owner is re-admitted at the current epoch, the flush "
+        "still covers every acked write, and nothing is lost or doubly "
+        "applied.",
+        app="game",
+        systems=("aeon",),
+        servers=4,
+        game=GameSpec(players_per_room=4, shared_items_per_room=2),
+        workload=WorkloadSpec(think_ms=8.0, max_retries=3),
+        faults=FaultSpec(
+            kind="partition_recovery",
+            fencing=True,
+            honest_recovery=True,
+            crash_drops_state=True,
+        ),
+        output="runs",
+        render=f"{_SCN}:_render_partition_recovery",
     )
 
 

@@ -10,7 +10,7 @@ reproduce the relative ordering of those setups.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from .kernel import Simulator
 from .queues import Resource, Store
@@ -75,6 +75,16 @@ class Server:
         self.crashed = False
         self.crashed_at_ms: Optional[float] = None
         self.crash_count = 0
+        #: The fencing epoch this server *believes* it holds.  The
+        #: recovery manager's fencing table is the authority; a server
+        #: whose belief lags the table is stale and gets its writes
+        #: rejected.  Heartbeats carry this value.
+        self.fencing_epoch = 0
+        #: Hooks fired inside crash()/restart() (crash realism: the
+        #: eManager drops volatile context state at crash time and
+        #: rehydrates from the durable checkpoint on restart).
+        self.on_crash: List[Callable[["Server"], None]] = []
+        self.on_restart: List[Callable[["Server"], None]] = []
         self._util_mark_busy = 0.0
         self._util_mark_time = 0.0
 
@@ -96,23 +106,39 @@ class Server:
     # Fail-stop faults
     # ------------------------------------------------------------------
     def crash(self) -> None:
-        """Fail-stop the server: volatile state is lost until restart.
+        """Fail-stop the server.
 
         The machine object (and the contexts the runtime still maps to
         it) stay around so a recovery manager can enumerate what was
         lost; the injector additionally detaches the mailbox from the
-        network so nothing is delivered here while down.
+        network so nothing is delivered here while down.  By default the
+        in-memory context state survives as simulator bookkeeping; with
+        crash realism enabled the eManager registers an ``on_crash``
+        hook that drops it at crash time, so even a restart faster than
+        the detector's lease is a true fail-stop.
         """
         self.alive = False
         self.crashed = True
         self.crashed_at_ms = self.sim.now
         self.crash_count += 1
+        for hook in self.on_crash:
+            hook(self)
 
     def restart(self) -> None:
-        """Bring a crashed server back up (empty — contexts were re-placed)."""
+        """Bring a crashed server back up.
+
+        Contexts the runtime still maps here come back with whatever the
+        failure model says survived: under the default (lenient) model
+        their in-memory state is intact; with crash realism the state
+        was dropped at crash time and an ``on_restart`` hook rehydrates
+        it from the durable checkpoint + WAL before the contexts serve
+        again.  Contexts already re-placed elsewhere stay there.
+        """
         self.alive = True
         self.crashed = False
         self.crashed_at_ms = None
+        for hook in self.on_restart:
+            hook(self)
 
     # ------------------------------------------------------------------
     # Utilization reporting (consumed by the eManager)

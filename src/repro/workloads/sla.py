@@ -11,7 +11,7 @@ baseline p99 — availability is the fraction of windows that meet both.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..sim.metrics import LatencyRecorder, mean
 
@@ -65,6 +65,9 @@ class AvailabilityReport:
     p99_target_ms: float
     baseline_goodput_per_s: float
     baseline_p99_ms: float
+    #: Acked writes rolled back by crash/recovery (honest failure runs
+    #: only; ``None`` keeps legacy figure payloads byte-identical).
+    lost_work: Optional[int] = None
 
     @property
     def availability_pct(self) -> float:
@@ -75,7 +78,7 @@ class AvailabilityReport:
 
     def as_dict(self) -> dict:
         """Plain-dict form for figure-data JSON."""
-        return {
+        payload = {
             "windows": self.windows,
             "windows_meeting": self.windows_meeting,
             "availability_pct": self.availability_pct,
@@ -84,6 +87,9 @@ class AvailabilityReport:
             "baseline_goodput_per_s": self.baseline_goodput_per_s,
             "baseline_p99_ms": self.baseline_p99_ms,
         }
+        if self.lost_work is not None:
+            payload["lost_work"] = self.lost_work
+        return payload
 
 
 def availability_slo(
@@ -96,6 +102,7 @@ def availability_slo(
     goodput_fraction: float = 0.5,
     p99_multiplier: float = 5.0,
     p99_floor_ms: float = 25.0,
+    lost_work: Optional[int] = None,
 ) -> AvailabilityReport:
     """Score windowed goodput/p99 series against an availability SLO.
 
@@ -110,6 +117,12 @@ def availability_slo(
     * p99 ≤ max(``p99_multiplier`` × baseline p99, ``p99_floor_ms``)
       (the floor keeps a near-zero baseline p99 from making the target
       unmeetably strict).
+
+    ``lost_work`` — acked writes rolled back at crash/recovery time
+    (``runtime.writes_rolled_back`` under honest failure semantics) —
+    rides along in the report when provided: availability alone hides
+    durability loss, since a run that drops updates can still meet
+    every latency window.
     """
     base_goodput = mean(
         [v for t, v in goodput_points if baseline_from_ms <= t < baseline_to_ms]
@@ -135,4 +148,5 @@ def availability_slo(
         p99_target_ms=p99_target,
         baseline_goodput_per_s=base_goodput,
         baseline_p99_ms=base_p99,
+        lost_work=lost_work,
     )
