@@ -10,6 +10,12 @@ fixture), e.g. shrinking the new-scenario benchmarks::
 
     pytest benchmarks/test_new_scenarios.py --experiment-set duration_ms=9000
 
+``--experiment-cache-dir PATH`` attaches the persistent result store to
+the benchmarks that accept it (the ``cache`` fixture): a second
+benchmark run against the same store loads every cell instead of
+simulating it — useful for iterating on assertions without re-paying
+the simulation cost.  Timings then measure the store, not the kernel.
+
 See docs/EXPERIMENTS.md and docs/SCENARIOS.md.
 """
 
@@ -32,6 +38,13 @@ def pytest_addoption(parser):
         help="scenario --set overrides forwarded to benchmarks that "
         "accept them (repeatable)",
     )
+    parser.addoption(
+        "--experiment-cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent result store for benchmarks that accept it "
+        "(default: no caching — benchmarks measure the simulation)",
+    )
 
 
 @pytest.fixture
@@ -44,6 +57,13 @@ def jobs(request):
 def overrides(request):
     """The ``--experiment-set`` assignments, passed to run_scenario."""
     return request.config.getoption("--experiment-set")
+
+
+@pytest.fixture
+def cache(request):
+    """``run_scenario`` cache kwargs from ``--experiment-cache-dir``."""
+    path = request.config.getoption("--experiment-cache-dir")
+    return {"cache": "auto" if path else "off", "cache_dir": path}
 
 
 @pytest.fixture

@@ -9,9 +9,9 @@ extra spec overrides; ``--experiment-jobs`` parallelises sweep cells.
 from repro.harness.scenarios import get_scenario, render_scenario, run_scenario
 
 
-def test_mixed_cotenancy(once, jobs, overrides):
+def test_mixed_cotenancy(once, jobs, overrides, cache):
     data = once(run_scenario, "mixed_cotenancy", scale="quick", jobs=jobs,
-                overrides=overrides)
+                overrides=overrides, **cache)
     print("\n" + render_scenario(get_scenario("mixed_cotenancy"), data))
     for system, run in data.items():
         # Both co-tenants make progress on every system under test.
@@ -25,9 +25,9 @@ def test_mixed_cotenancy(once, jobs, overrides):
     )
 
 
-def test_churn_sweep(once, jobs, overrides):
+def test_churn_sweep(once, jobs, overrides, cache):
     data = once(run_scenario, "churn_sweep", scale="quick", jobs=jobs,
-                overrides=overrides)
+                overrides=overrides, **cache)
     print("\n" + render_scenario(get_scenario("churn_sweep"), data))
     rows = data["rows"]
     assert len(rows) >= 2, "sweep needs at least two MTBF points"
@@ -44,9 +44,9 @@ def test_churn_sweep(once, jobs, overrides):
         assert row["availability_pct"] > 50.0, f"collapsed at MTBF {row['mtbf_ms']}"
 
 
-def test_diurnal_elasticity(once, jobs, overrides):
+def test_diurnal_elasticity(once, jobs, overrides, cache):
     data = once(run_scenario, "diurnal", scale="quick", jobs=jobs,
-                overrides=overrides)
+                overrides=overrides, **cache)
     print("\n" + render_scenario(get_scenario("diurnal"), data))
     run = data["aeon"]
     # The fleet actually tracked the wave: it grew beyond its floor and

@@ -33,6 +33,7 @@ import argparse
 import json
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..results.store import open_store, resolve_mode
 from .runner import CellPool
 from .scenarios import (
     SCALES,
@@ -74,8 +75,17 @@ __all__ = [
 def _alias(name: str) -> Callable:
     """Build a legacy ``figN(scale, seed, jobs)`` wrapper for a scenario."""
 
-    def run(scale: str = "quick", seed: int = 0, jobs: int = 1):
-        return run_scenario(name, scale=scale, seed=seed, jobs=jobs)
+    def run(
+        scale: str = "quick",
+        seed: int = 0,
+        jobs: int = 1,
+        cache: str = "off",
+        cache_dir: Optional[str] = None,
+    ):
+        return run_scenario(
+            name, scale=scale, seed=seed, jobs=jobs,
+            cache=cache, cache_dir=cache_dir,
+        )
 
     run.__name__ = name
     run.__qualname__ = name
@@ -84,8 +94,9 @@ def _alias(name: str) -> Callable:
         f"Thin alias for ``run_scenario({name!r})``: ``scale`` picks the\n"
         f"sizing preset, ``seed`` the RNG seed, ``jobs`` the worker\n"
         f"processes (1 = serial, 0 = one per core; figure data is\n"
-        f"byte-identical at any level).  Reference: docs/EXPERIMENTS.md\n"
-        f"§ {name}."
+        f"byte-identical at any level), ``cache``/``cache_dir`` the\n"
+        f"persistent result store (docs/ARCHITECTURE.md § Result store).\n"
+        f"Reference: docs/EXPERIMENTS.md § {name}."
     )
     return run
 
@@ -136,7 +147,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     single selected scenario), ``--jobs`` the worker-process count (1 =
     serial, 0 = one per core; figure data is byte-identical at any
     level; with ``--all`` one pool is shared by every figure), ``--json
-    PATH`` dumps machine-readable results.  Reference:
+    PATH`` dumps machine-readable results.  Caching: the CLI defaults to
+    the persistent result store in ``.repro_results/`` (``--cache-dir``
+    moves it, ``--no-cache`` disables it, ``--refresh`` recomputes and
+    repopulates, ``REPRO_CACHE=auto|off|refresh`` sets the default);
+    cached results are byte-identical to fresh ones, and a killed
+    ``--all`` resumes from the cells it already completed.  Reference:
     docs/EXPERIMENTS.md and docs/SCENARIOS.md.
     """
     parser = argparse.ArgumentParser(description=__doc__)
@@ -179,7 +195,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write the figure data (machine-readable) to this file",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="persistent result store directory (default: "
+        "$REPRO_RESULTS_DIR or .repro_results); maintain it with "
+        "'python -m repro.results'",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without the persistent result store (neither load nor save)",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every cell and overwrite its store entry",
+    )
     args = parser.parse_args(argv)
+    if args.no_cache and args.refresh:
+        parser.error("--no-cache and --refresh are mutually exclusive")
 
     if args.list_scenarios:
         width = max(len(name) for name in list_scenarios())
@@ -204,7 +240,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     results: Dict[str, Any] = {}
     try:
-        with CellPool(args.jobs) as pool:
+        store = open_store(
+            resolve_mode(args.no_cache, args.refresh, args.cache_dir),
+            args.cache_dir,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    try:
+        with CellPool(args.jobs, store=store) as pool:
             # Expand and enqueue every chosen scenario up front: cells
             # stream through one shared pool, so workers never idle at a
             # figure boundary waiting for a straggler cell.
@@ -223,12 +266,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
     except ScenarioError as error:
         parser.error(str(error))
+    if store is not None:
+        total = store.hits + store.misses
+        pct = 100.0 * store.hits / total if total else 0.0
+        print(
+            f"result store: {store.hits}/{total} cache hits ({pct:.0f}%), "
+            f"{store.misses} computed -> {store.root}"
+        )
     if args.json:
         payload = {
             "scale": args.scale,
             "seed": args.seed,
             "experiments": _jsonable(results),
         }
+        if store is not None:
+            payload["cache"] = {
+                "dir": str(store.root),
+                "hits": store.hits,
+                "misses": store.misses,
+            }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")

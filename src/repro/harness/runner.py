@@ -18,7 +18,9 @@ and named RNG streams; nothing reads wall-clock state).
 from __future__ import annotations
 
 import importlib
+import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
@@ -28,6 +30,7 @@ from ..baselines import EventWaveRuntime, OrleansRuntime
 from ..core.costs import CostModel, DEFAULT_COSTS
 from ..core.protocol import AeonRuntime
 from ..core.runtime import RuntimeBase
+from ..results.store import MISS, ResultStore
 from ..sim.cluster import Cluster, InstanceType, M3_LARGE, Server
 from ..sim.kernel import Simulator
 from ..sim.network import Network
@@ -44,10 +47,13 @@ __all__ = [
     "Cell",
     "CellResult",
     "execute_cell",
+    "execute_cell_timed",
     "resolve_jobs",
     "run_cells",
     "CellPool",
 ]
+
+_log = logging.getLogger("repro.harness.runner")
 
 #: The five measured systems, in the paper's legend order.
 SYSTEMS = ("eventwave", "orleans", "orleans_star", "aeon_so", "aeon")
@@ -225,6 +231,19 @@ def execute_cell(cell: Cell) -> CellResult:
     return CellResult(key=cell.key, value=fn(**cell.kwargs))
 
 
+def execute_cell_timed(cell: Cell) -> Tuple[CellResult, float]:
+    """:func:`execute_cell` plus the cell's wall-clock milliseconds.
+
+    The timing is store metadata only (it rides into the result-store
+    manifest) — it never feeds back into a simulation, so determinism
+    is untouched.  This is the worker payload whenever a
+    :class:`~repro.results.ResultStore` is attached.
+    """
+    start = time.perf_counter()
+    result = execute_cell(cell)
+    return result, (time.perf_counter() - start) * 1000.0
+
+
 def resolve_jobs(jobs: int) -> int:
     """Normalize a ``--jobs`` value: ``0`` means one per CPU core."""
     if jobs < 0:
@@ -235,7 +254,10 @@ def resolve_jobs(jobs: int) -> int:
 
 
 def run_cells(
-    cells: Sequence[Cell], jobs: int = 1, pool: Optional["CellPool"] = None
+    cells: Sequence[Cell],
+    jobs: int = 1,
+    pool: Optional["CellPool"] = None,
+    store: Optional[ResultStore] = None,
 ) -> List[CellResult]:
     """Execute ``cells`` and return their results *in cell order*.
 
@@ -247,11 +269,22 @@ def run_cells(
     byte-identical to the serial path regardless of completion order.
     Passing a :class:`CellPool` instead shares one long-lived pool (and
     its duplicate-cell cache) across many ``run_cells`` calls — the
-    ``--all`` streaming path.  See docs/EXPERIMENTS.md for per-figure
-    ``--jobs`` guidance.
+    ``--all`` streaming path; a pool carries its own result store, so
+    ``store`` is only honored when ``pool`` is ``None``.
+
+    ``store`` attaches a :class:`~repro.results.ResultStore`: cells with
+    a persisted result are not dispatched at all (hit → deserialize),
+    and every miss is persisted the moment it completes — a killed run
+    resumes where it died, and cached data is byte-identical to fresh
+    data at any ``jobs`` level (results are reassembled in cell order
+    either way).  See docs/EXPERIMENTS.md for per-figure ``--jobs``
+    guidance and docs/ARCHITECTURE.md § Result store.
     """
     if pool is not None:
         return pool.gather(pool.submit(cells))
+    if store is not None:
+        with CellPool(jobs, store=store) as pool_:
+            return pool_.gather(pool_.submit(cells))
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(cells) <= 1:
         return [execute_cell(cell) for cell in cells]
@@ -260,18 +293,71 @@ def run_cells(
 
 
 class _LazyCell:
-    """Serial-mode pool handle: runs its cell on first ``result()`` call."""
+    """Serial-mode pool handle: runs its cell on first ``result()`` call.
 
-    __slots__ = ("_cell", "_result")
+    With a store attached, the freshly computed value is persisted
+    immediately after execution — mid-``gather`` kills lose only the
+    in-flight cell.
+    """
 
-    def __init__(self, cell: Cell) -> None:
+    __slots__ = ("_cell", "_result", "_store")
+
+    def __init__(self, cell: Cell, store: Optional[ResultStore] = None) -> None:
         self._cell = cell
         self._result: Optional[CellResult] = None
+        self._store = store
 
     def result(self) -> CellResult:
         if self._result is None:
+            start = time.perf_counter()
             self._result = execute_cell(self._cell)
+            if self._store is not None:
+                _persist_quietly(
+                    self._store,
+                    self._cell,
+                    self._result.value,
+                    (time.perf_counter() - start) * 1000.0,
+                )
         return self._result
+
+
+class _CachedCell:
+    """Pool handle for a result-store hit: the value is already here."""
+
+    __slots__ = ("_result",)
+
+    def __init__(self, result: CellResult) -> None:
+        self._result = result
+
+    def result(self) -> CellResult:
+        return self._result
+
+
+class _FutureHandle:
+    """Pool handle over an :func:`execute_cell_timed` worker future."""
+
+    __slots__ = ("future",)
+
+    def __init__(self, future: Any) -> None:
+        self.future = future
+
+    def result(self) -> CellResult:
+        return self.future.result()[0]
+
+
+def _persist_quietly(
+    store: ResultStore, cell: Cell, value: Any, wall_ms: float
+) -> None:
+    """Persist one completed cell; storage trouble never fails the sweep."""
+    try:
+        store.put(cell, value, wall_ms=wall_ms)
+    except Exception as error:
+        _log.warning(
+            "result store: failed to persist cell %r (%s: %s); continuing",
+            cell.key,
+            type(error).__name__,
+            error,
+        )
 
 
 class CellPool:
@@ -295,10 +381,21 @@ class CellPool:
     (the exact historical serial order); ``jobs>1``/``0`` uses a
     :class:`~concurrent.futures.ProcessPoolExecutor`.  Use as a context
     manager or call :meth:`close`.
+
+    ``store`` attaches a :class:`~repro.results.ResultStore`: before a
+    novel cell is dispatched the store is consulted (hit → the persisted
+    value comes back as a ready handle, no worker touched), and every
+    executed cell is persisted *as it completes* — serially right after
+    execution, in parallel via a done-callback on the worker future — so
+    a killed ``--all`` resumes where it died.  Dedup runs before the
+    store consult, so the pool's hit/miss counters count *distinct*
+    cells: a fully warm ``--all`` reports 100% hits even though fig7 and
+    table1 request the same elastic setups twice.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1, store: Optional[ResultStore] = None) -> None:
         self.jobs = resolve_jobs(jobs)
+        self.store = store
         self._executor = (
             ProcessPoolExecutor(max_workers=self.jobs) if self.jobs > 1 else None
         )
@@ -308,6 +405,28 @@ class CellPool:
     def _dedup_key(cell: Cell) -> tuple:
         return (cell.fn, tuple(sorted((k, repr(v)) for k, v in cell.kwargs.items())))
 
+    def _dispatch(self, cell: Cell) -> Any:
+        """Produce a handle for one novel cell: store hit, lazy, or future."""
+        store = self.store
+        if store is not None:
+            value = store.load(cell)
+            if value is not MISS:
+                return _CachedCell(CellResult(key=cell.key, value=value))
+        if self._executor is None:
+            return _LazyCell(cell, store)
+        if store is None:
+            return self._executor.submit(execute_cell, cell)
+        future = self._executor.submit(execute_cell_timed, cell)
+
+        def _on_done(f: Any, cell: Cell = cell) -> None:
+            if f.cancelled() or f.exception() is not None:
+                return
+            result, wall_ms = f.result()
+            _persist_quietly(store, cell, result.value, wall_ms)
+
+        future.add_done_callback(_on_done)
+        return _FutureHandle(future)
+
     def submit(self, cells: Sequence[Cell]) -> List[Tuple[Cell, Any]]:
         """Enqueue ``cells``; returns ``(cell, handle)`` pairs for :meth:`gather`."""
         handles = []
@@ -315,10 +434,7 @@ class CellPool:
             key = self._dedup_key(cell)
             handle = self._cache.get(key)
             if handle is None:
-                if self._executor is None:
-                    handle = _LazyCell(cell)
-                else:
-                    handle = self._executor.submit(execute_cell, cell)
+                handle = self._dispatch(cell)
                 self._cache[key] = handle
             handles.append((cell, handle))
         return handles

@@ -48,6 +48,7 @@ from ..faults import (
     ServerCrash,
     random_churn,
 )
+from ..results.store import open_store
 from ..sim.cluster import INSTANCE_TYPES, M1_SMALL, M3_LARGE, Server
 from ..sim.metrics import mean, percentile
 from ..workloads.generators import ClosedLoopClients, DynamicClients, RampProfile
@@ -74,6 +75,7 @@ __all__ = [
     "list_scenarios",
     "REGISTRY",
     "sweep_axes",
+    "zip_points",
     "expand",
     "apply_overrides",
     "build_scenario",
@@ -291,6 +293,8 @@ class ScenarioSpec:
       ``elastic`` (:class:`ElasticSpec` or ``None``);
     * **sweep** — ``seeds``, ``axes`` (extra named axes; a value of
       ``()`` pulls the scale default, e.g. ``("clients", ())``),
+      ``zip_axes`` (paired axes that advance *together* instead of
+      crossing — all must have equal lengths, validated fail-fast),
       ``points`` (explicit sweep points overriding the cross-product);
     * **output** — ``metrics`` (RunResult attributes), ``output`` (the
       assembly/render shape), optional custom ``cell`` / ``assemble`` /
@@ -328,6 +332,7 @@ class ScenarioSpec:
     scale: str = "quick"
     seeds: Tuple[int, ...] = (0,)
     axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    zip_axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
     points: Tuple[Tuple[Tuple[str, Any], ...], ...] = ()
     # Output.
     metrics: Tuple[str, ...] = ("throughput_per_s",)
@@ -457,13 +462,67 @@ def sweep_axes(spec: ScenarioSpec) -> List[Tuple[str, Tuple]]:
     return axes
 
 
-def _sweep_points(spec: ScenarioSpec) -> List[Tuple[Tuple[str, Any], ...]]:
-    """All sweep points as ``((axis, value), ...)`` tuples, in cell order."""
+def zip_points(spec: ScenarioSpec) -> List[Tuple[Tuple[str, Any], ...]]:
+    """The spec's paired-axis positions: ``[((name, value), ...), ...]``.
+
+    Unlike ``spec.axes`` (which cross), the ``spec.zip_axes`` advance
+    *together*: position ``i`` takes value ``i`` of every zip axis, like
+    Python's ``zip``.  All zip axes must resolve to the same length
+    (empty values pull the scale default, exactly as cross axes do);
+    mismatched lengths or a name colliding with a cross axis fail fast
+    with :class:`ScenarioError` before any cell runs.  Returns ``[()]``
+    when no zip axes are declared (the neutral element for the
+    cross-product in :func:`_sweep_points`).
+    """
+    if not spec.zip_axes:
+        return [()]
     if spec.points:
+        raise ScenarioError(
+            f"scenario {spec.name!r} declares both explicit points and "
+            f"zip_axes; explicit points already pin every axis value"
+        )
+    sizing = SCALES[spec.scale]
+    resolved = [
+        (name, _axis_values(name, tuple(values), sizing))
+        for name, values in spec.zip_axes
+    ]
+    cross_names = {name for name, _values in sweep_axes(spec)}
+    for name, _values in resolved:
+        if name in cross_names:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: zip axis {name!r} collides with "
+                f"a cross-product axis of the same name"
+            )
+    lengths = {name: len(values) for name, values in resolved}
+    if len(set(lengths.values())) > 1:
+        raise ScenarioError(
+            f"scenario {spec.name!r}: zip axes must have equal lengths, got "
+            + ", ".join(f"{name}={n}" for name, n in lengths.items())
+        )
+    length = next(iter(lengths.values()))
+    return [
+        tuple((name, values[i]) for name, values in resolved)
+        for i in range(length)
+    ]
+
+
+def _sweep_points(spec: ScenarioSpec) -> List[Tuple[Tuple[str, Any], ...]]:
+    """All sweep points as ``((axis, value), ...)`` tuples, in cell order.
+
+    Cross-product axes expand first; each resulting point is then
+    extended with every zip position (zip values vary fastest).  With no
+    zip axes this is exactly the historical cross-product.
+    """
+    if spec.points:
+        if spec.zip_axes:
+            zip_points(spec)  # raises: points + zip_axes conflict
         return [tuple(point) for point in spec.points]
     points: List[Tuple[Tuple[str, Any], ...]] = [()]
     for name, values in sweep_axes(spec):
         points = [point + ((name, value),) for point in points for value in values]
+    zips = zip_points(spec)
+    if zips != [()]:
+        points = [point + zipped for point in points for zipped in zips]
     return points
 
 
@@ -500,8 +559,9 @@ _SUBSPEC_FIELDS = ("workload", "tpcc_workload", "faults", "elastic", "game", "tp
 #: Spec fields that are tuples (a scalar --set value is wrapped).
 _TUPLE_FIELDS = {"systems", "seeds", "server_counts", "metrics"}
 
-#: Spec fields --set may not touch (identity/plumbing).
-_PROTECTED_FIELDS = {"name", "cell", "assemble", "render", "axes", "points"}
+#: Spec fields --set may not touch (identity/plumbing).  Axis *names*
+#: (cross or zip) are still settable — they replace that axis's values.
+_PROTECTED_FIELDS = {"name", "cell", "assemble", "render", "axes", "zip_axes", "points"}
 
 
 def _spec_field_names(obj: Any) -> Tuple[str, ...]:
@@ -573,10 +633,11 @@ def apply_overrides(
 ) -> ScenarioSpec:
     """Apply ``--set key=value`` strings to a spec, returning the new spec.
 
-    ``key`` may name a sweep axis (replacing its values), a spec field
-    (``duration_ms``, ``systems``, ...), a sub-spec field searched in
-    order (``mtbf_ms`` → ``faults.mtbf_ms``), or a dotted sub-spec path
-    (``workload.think_ms``).  Unknown keys raise :class:`ScenarioError`.
+    ``key`` may name a sweep axis — cross-product or zip — (replacing
+    its values), a spec field (``duration_ms``, ``systems``, ...), a
+    sub-spec field searched in order (``mtbf_ms`` → ``faults.mtbf_ms``),
+    or a dotted sub-spec path (``workload.think_ms``).  Unknown keys
+    raise :class:`ScenarioError`.
     """
     for raw in assignments:
         key, sep, text = raw.partition("=")
@@ -585,6 +646,7 @@ def apply_overrides(
             raise ScenarioError(f"--set expects key=value, got {raw!r}")
         value = _parse_value(text)
         axis_names = [name for name, _values in spec.axes]
+        zip_names = [name for name, _values in spec.zip_axes]
         if key in axis_names:
             values = value if isinstance(value, tuple) else (value,)
             spec = replace(
@@ -592,6 +654,17 @@ def apply_overrides(
                 axes=tuple(
                     (name, values if name == key else old)
                     for name, old in spec.axes
+                ),
+            )
+        elif key in zip_names:
+            # Replacing one zip axis's values; the equal-length check
+            # still runs (fail-fast) when the sweep expands.
+            values = value if isinstance(value, tuple) else (value,)
+            spec = replace(
+                spec,
+                zip_axes=tuple(
+                    (name, values if name == key else old)
+                    for name, old in spec.zip_axes
                 ),
             )
         else:
@@ -1963,6 +2036,8 @@ def run_scenario(
     jobs: int = 1,
     overrides: Sequence[str] = (),
     pool: Any = None,
+    cache: Optional[str] = "off",
+    cache_dir: Optional[Any] = None,
 ) -> Any:
     """Run a scenario end to end and return its assembled figure data.
 
@@ -1972,10 +2047,26 @@ def run_scenario(
     out to worker processes (1 = serial, 0 = one per core — data is
     byte-identical at any level); ``pool`` shares one
     :class:`~repro.harness.runner.CellPool` across scenarios.
+
+    ``cache`` attaches the persistent result store (see
+    docs/ARCHITECTURE.md § Result store): ``"auto"`` loads persisted
+    cells and persists fresh ones, ``"refresh"`` recomputes everything
+    and repopulates, ``"off"`` (the library default — programmatic
+    callers stay pure) touches no store.  ``cache_dir`` overrides the
+    store directory (default ``.repro_results/`` or
+    ``$REPRO_RESULTS_DIR``).  A ``pool`` carries its own store, so both
+    are ignored when one is passed.
     """
     spec = prepare_scenario(scenario, scale=scale, seed=seed, overrides=overrides)
     cells = expand(spec)
-    results = run_cells(cells, jobs, pool=pool)
+    if pool is not None:
+        results = run_cells(cells, jobs, pool=pool)
+    else:
+        try:
+            store = open_store(cache, cache_dir)
+        except ValueError as error:
+            raise ScenarioError(str(error)) from None
+        results = run_cells(cells, jobs, store=store)
     return assemble_scenario(spec, cells, results)
 
 

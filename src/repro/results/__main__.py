@@ -1,0 +1,120 @@
+"""Maintenance CLI for the persistent result store::
+
+    python -m repro.results ls                  # list persisted entries
+    python -m repro.results stats               # totals + per-scenario split
+    python -m repro.results gc --older-than 7d  # drop entries older than AGE
+    python -m repro.results clear               # drop every entry
+
+``--dir PATH`` (or ``REPRO_RESULTS_DIR``) selects the store; the
+default is ``.repro_results/`` in the current directory.  ``AGE``
+accepts ``30s``, ``45m``, ``12h``, ``7d`` or plain seconds.  See
+docs/ARCHITECTURE.md § Result store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+from .store import ResultStore, resolve_dir
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_age(text: str) -> float:
+    """``"30s"/"45m"/"12h"/"7d"`` (or bare seconds) -> seconds."""
+    text = text.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid age {text!r}; use e.g. 30s, 45m, 12h, 7d or seconds"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("age must be >= 0")
+    return value * unit
+
+
+def _when(timestamp: Optional[float]) -> str:
+    if not timestamp:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(timestamp))
+
+
+def _human_bytes(count: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(count) < 1024.0 or unit == "GB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{int(count)} B"
+        count /= 1024.0
+    return f"{count:.1f} GB"  # pragma: no cover (loop always returns)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.results", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="store directory (default: $REPRO_RESULTS_DIR or .repro_results)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("ls", help="list persisted entries")
+    commands.add_parser("stats", help="entry/byte totals and per-scenario split")
+    gc = commands.add_parser("gc", help="drop entries older than --older-than")
+    gc.add_argument(
+        "--older-than",
+        type=parse_age,
+        required=True,
+        metavar="AGE",
+        help="drop entries older than AGE (30s, 45m, 12h, 7d or seconds)",
+    )
+    commands.add_parser("clear", help="drop every entry")
+    args = parser.parse_args(argv)
+
+    store = ResultStore(resolve_dir(args.dir))
+    if args.command == "ls":
+        entries = store.entries()
+        for entry in entries:
+            print(
+                f"{_when(entry.get('created_at'))}  "
+                f"{entry['key'][:12]}  "
+                f"{entry['scenario']:<20}  "
+                f"{entry.get('wall_ms', 0.0):>9.1f} ms  "
+                f"{_human_bytes(entry['bytes']):>10}  "
+                f"{entry.get('cell', '?')}"
+            )
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'} in {store.root}")
+    elif args.command == "stats":
+        stats = store.stats()
+        print(f"store:    {stats['dir']}")
+        print(f"format:   {stats['format']}")
+        print(f"entries:  {stats['entries']}")
+        print(f"bytes:    {_human_bytes(stats['bytes'])}")
+        print(f"saved/warm run: {stats['wall_ms_saved_per_warm_run'] / 1000.0:.1f} s")
+        print(f"oldest:   {_when(stats['oldest'])}")
+        print(f"newest:   {_when(stats['newest'])}")
+        for name, row in stats["scenarios"].items():
+            print(
+                f"  {name:<24} {row['entries']:>4} entries  "
+                f"{_human_bytes(row['bytes']):>10}  "
+                f"{row['wall_ms'] / 1000.0:>7.1f} s"
+            )
+    elif args.command == "gc":
+        removed = store.gc(args.older_than)
+        print(f"gc: removed {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
+    elif args.command == "clear":
+        removed = store.clear()
+        print(f"clear: removed {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -3,6 +3,15 @@
 import pytest
 
 from repro.baselines import EventWaveRuntime, OrleansRuntime
+from repro.results import MODE_ENV
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_result_store(monkeypatch):
+    """Keep tests hermetic: no test reads or writes a developer's
+    ``.repro_results/`` store unless it opts in with an explicit
+    ``cache_dir`` (an explicit dir overrides this env default)."""
+    monkeypatch.setenv(MODE_ENV, "off")
 from repro.core import AeonRuntime, ContextClass, Ref, RefSet, readonly
 from repro.core.events import async_, compute, dispatch
 from repro.sim import Cluster, M3_LARGE, Network, Simulator
