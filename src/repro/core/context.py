@@ -133,7 +133,8 @@ class Ref:
     def __get__(self, obj: "ContextClass", objtype: type = None) -> Optional[ContextRef]:
         if obj is None:
             return self  # type: ignore[return-value]
-        return obj._aeon_refs.get(self.name)
+        refs = obj.__dict__.get("_aeon_refs")
+        return refs.get(self.name) if refs is not None else None
 
     def __set__(self, obj: "ContextClass", value: Optional[ContextRef]) -> None:
         if value is not None and not isinstance(value, ContextRef):
@@ -213,6 +214,59 @@ class RefSetView:
         return list(self)
 
 
+class _VersionField:
+    """Data descriptor routing ``_aeon_version`` into the columnar table.
+
+    Once a context occupies a table slot (``_aeon_slot >= 0``) its write
+    version lives in the runtime's dense ``table.version`` column — the
+    hot path (the body driver) indexes the column directly, and every
+    other reader/writer (snapshots, restores, recovery accounting) goes
+    through this descriptor.  Detached instances (unit tests, direct
+    construction, rolled-back creations) fall back to a per-instance
+    ``_aeon_local_version`` dict entry, preserving the legacy behavior.
+    """
+
+    __slots__ = ()
+
+    def __get__(self, obj: "ContextClass", objtype: type = None):
+        if obj is None:
+            return self
+        slot = obj._aeon_slot
+        if slot >= 0:
+            return obj._aeon_runtime.table.version[slot]
+        return obj.__dict__.get("_aeon_local_version", 0)
+
+    def __set__(self, obj: "ContextClass", value: int) -> None:
+        slot = obj._aeon_slot
+        if slot >= 0:
+            obj._aeon_runtime.table.version[slot] = value
+        else:
+            obj.__dict__["_aeon_local_version"] = value
+
+
+class _LazyDictField:
+    """Non-data descriptor: install ``{}`` in the instance dict on first use.
+
+    Ref/RefSet bookkeeping used to be allocated eagerly for every
+    instance in ``__new__``/``_aeon_new``; most contexts (and all
+    massive-tier bulk contexts) never touch a ref field, so the two
+    dicts per instance were pure overhead.  The installed dict shadows
+    the descriptor, so the second access is a plain attribute hit.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj: "ContextClass", objtype: type = None) -> Dict[str, Any]:
+        if obj is None:
+            return self  # type: ignore[return-value]
+        value: Dict[str, Any] = {}
+        obj.__dict__[self.name] = value
+        return value
+
+
 class ContextClass:
     """Base class for all contextclasses.
 
@@ -228,22 +282,21 @@ class ContextClass:
     # These are assigned by the runtime in ``bind`` before __init__.
     _aeon_runtime: Any = None
     _aeon_cid: str = ""
+    #: Row index in the runtime's columnar ContextTable; -1 = detached
+    #: (unit tests, direct construction), where per-instance fallbacks
+    #: apply.
+    _aeon_slot: int = -1
     #: True after the hosting server crashed with crash realism enabled:
     #: the volatile state is gone and method execution must fail until a
     #: restore/rehydration repopulates it (class default keeps the flag
     #: off the per-instance dict, so the common case costs nothing).
     _aeon_state_dropped: bool = False
-
-    def __new__(cls, *args: Any, **kwargs: Any) -> "ContextClass":
-        instance = super().__new__(cls)
-        # Detached instances (unit tests, direct construction) still get
-        # working ref bookkeeping; ownership edges are maintained only
-        # once a runtime binds the instance.
-        if "_aeon_refs" not in instance.__dict__:
-            object.__setattr__(instance, "_aeon_refs", {})
-            object.__setattr__(instance, "_aeon_refsets", {})
-            object.__setattr__(instance, "_aeon_version", 0)
-        return instance
+    #: Write-version counter, routed into the table's version column for
+    #: bound instances (see _VersionField).
+    _aeon_version = _VersionField()
+    # Ref/RefSet bookkeeping, allocated lazily on first use.
+    _aeon_refs = _LazyDictField("_aeon_refs")
+    _aeon_refsets = _LazyDictField("_aeon_refsets")
 
     def __init__(self) -> None:  # subclasses may override freely
         pass
@@ -257,9 +310,6 @@ class ContextClass:
         instance = cls.__new__(cls)
         object.__setattr__(instance, "_aeon_runtime", runtime)
         object.__setattr__(instance, "_aeon_cid", cid)
-        object.__setattr__(instance, "_aeon_refs", {})
-        object.__setattr__(instance, "_aeon_refsets", {})
-        object.__setattr__(instance, "_aeon_version", 0)
         return instance
 
     @property
@@ -315,12 +365,13 @@ class ContextClass:
             for key, value in self.__dict__.items()
             if not key.startswith("_aeon")
         }
+        refs = self.__dict__.get("_aeon_refs") or {}
+        refsets = self.__dict__.get("_aeon_refsets") or {}
         state["__refs__"] = {
-            name: (ref.cid if ref else None) for name, ref in self._aeon_refs.items()
+            name: (ref.cid if ref else None) for name, ref in refs.items()
         }
         state["__refsets__"] = {
-            name: [ref.cid for ref in view]
-            for name, view in self._aeon_refsets.items()
+            name: [ref.cid for ref in view] for name, view in refsets.items()
         }
         state["__version__"] = self._aeon_version
         return state

@@ -47,6 +47,7 @@ from .events import (
 from .history import HistoryRecorder
 from .locking import ContextLock
 from .ownership import FencingTable, OwnershipNetwork
+from .table import ContextColumnView, ContextTable
 
 __all__ = ["RuntimeBase", "ClientHandle", "Branch", "FAILED_TAG"]
 
@@ -165,9 +166,20 @@ class RuntimeBase:
         self.costs = costs
         self.ownership = OwnershipNetwork()
         self.analysis = StaticAnalysis()
-        self.instances: Dict[str, ContextClass] = {}
-        self.placement: Dict[str, str] = {}
-        self.locks: Dict[str, ContextLock] = {}
+        # Columnar per-context state (repro.core.table): one dense
+        # struct-of-arrays table plus three dict-shaped views keeping
+        # the legacy mapping API — including its observable
+        # insertion-order iteration — over the instance/owner/lock
+        # columns.  Hot paths index the columns by slot directly.
+        self.table = ContextTable()
+        self.instances = ContextColumnView(self.table, self.table.instance)
+        self.placement = ContextColumnView(self.table, self.table.owner)
+        self.locks = ContextColumnView(self.table, self.table.lock)
+        #: Bulk-created context ranges (start slot, end slot, class):
+        #: their instances materialize lazily on first touch.
+        self._bulk_ranges: List[Tuple[int, int, Type[ContextClass]]] = []
+        #: Finished Event records available for reuse (see recycle_event).
+        self._event_pool: List[Event] = []
         self.latency = LatencyRecorder()
         self.throughput = ThroughputRecorder()
         self.history: Optional[HistoryRecorder] = HistoryRecorder() if record_history else None
@@ -207,11 +219,13 @@ class RuntimeBase:
 
     def server_of(self, cid: str) -> Server:
         """The server currently hosting context ``cid``."""
-        try:
-            return self.cluster.servers[self.placement[cid]]
-        except KeyError:
+        table = self.table
+        slot = table.index.get(cid)
+        owner = table.owner[slot] if slot is not None else None
+        if owner is None:
             self._ensure_placed(cid)
-            return self.cluster.servers[self.placement[cid]]
+            owner = self.placement[cid]
+        return self.cluster.servers[owner]
 
     def _ensure_placed(self, cid: str) -> None:
         if cid in self.placement:
@@ -310,6 +324,13 @@ class RuntimeBase:
         self.placement[cid] = host.name
         host.context_count += 1
         self.locks[cid] = ContextLock(self.sim, cid)
+        table = self.table
+        slot = table.index[cid]
+        object.__setattr__(instance, "_aeon_slot", slot)
+        if len(owner_cids) == 1:
+            parent_slot = table.index.get(owner_cids[0])
+            if parent_slot is not None:
+                table.parent[slot] = parent_slot
         try:
             instance.__init__(*args, **(kwargs or {}))
         except Exception:
@@ -319,6 +340,7 @@ class RuntimeBase:
             del self.placement[cid]
             host.context_count -= 1
             del self.locks[cid]
+            object.__setattr__(instance, "_aeon_slot", -1)
             raise
         return instance.ref
 
@@ -341,10 +363,82 @@ class RuntimeBase:
     def instance_of(self, ref_or_cid: Any) -> ContextClass:
         """The live instance behind a ref or context id."""
         cid = ref_or_cid.cid if isinstance(ref_or_cid, ContextRef) else ref_or_cid
-        try:
-            return self.instances[cid]
-        except KeyError:
-            raise UnknownContextError(f"unknown context {cid!r}") from None
+        table = self.table
+        slot = table.index.get(cid)
+        if slot is not None:
+            instance = table.instance[slot]
+            if instance is not None:
+                return instance
+            if self._bulk_ranges:
+                instance = self._materialize(cid, slot)
+                if instance is not None:
+                    return instance
+        raise UnknownContextError(f"unknown context {cid!r}")
+
+    def create_contexts_bulk(
+        self,
+        cls: Type[ContextClass],
+        cids: Sequence[str],
+        servers: Sequence[Server],
+        parents: Optional[Sequence[Optional[ContextRef]]] = None,
+    ) -> None:
+        """Register a large population of contexts without instantiating them.
+
+        The massive-tier fast path: every context gets a table row
+        (interned cid, round-robin placement over ``servers``, parent
+        link and ownership registration), but the Python instance — and
+        its lock — materialize lazily on first touch, so a million
+        registered players cost columns and ownership bookkeeping, not a
+        million object graphs.  Requirements: ``cls.__init__`` must be
+        callable with no arguments, and ``parents`` (if given) is
+        aligned with ``cids``.  Lock/instance creation order — hence the
+        trace — is driven entirely by deterministic event order.
+        """
+        if not (isinstance(cls, type) and issubclass(cls, ContextClass)):
+            raise TypeError(f"create_contexts_bulk requires a ContextClass, got {cls!r}")
+        if not servers:
+            raise AeonError("create_contexts_bulk needs at least one server")
+        self._register_class(cls)
+        table = self.table
+        index = table.index
+        for cid in cids:
+            if cid in index:
+                raise ValueError(f"duplicate context id {cid!r}")
+        start = table.grow(len(cids))
+        cid_col, owner_col, parent_col = table.cids, table.owner, table.parent
+        placement_order = self.placement._order
+        ownership_add = self.ownership.add_context
+        n_servers = len(servers)
+        for i, cid in enumerate(cids):
+            slot = start + i
+            cid_col[slot] = cid
+            index[cid] = slot
+            owner_col[slot] = servers[i % n_servers].name
+            placement_order[cid] = None
+            parent = parents[i] if parents is not None else None
+            if parent is not None:
+                ownership_add(cid, parents=[parent.cid])
+                parent_slot = index.get(parent.cid)
+                if parent_slot is not None:
+                    parent_col[slot] = parent_slot
+            else:
+                ownership_add(cid, parents=[])
+        count = len(cids)
+        for i, server in enumerate(servers):
+            server.context_count += count // n_servers + (1 if i < count % n_servers else 0)
+        self._bulk_ranges.append((start, start + count, cls))
+
+    def _materialize(self, cid: str, slot: int) -> Optional[ContextClass]:
+        """Build the lazy instance behind a bulk-created context row."""
+        for range_start, range_end, cls in self._bulk_ranges:
+            if range_start <= slot < range_end:
+                instance = cls._aeon_new(self, cid)
+                object.__setattr__(instance, "_aeon_slot", slot)
+                self.table.instance[slot] = instance
+                self.instances._order[cid] = None
+                instance.__init__()
+                return instance
+        return None
 
     # Ownership hooks used by the Ref/RefSet descriptors.
     def ownership_link(self, owner_cid: str, child_cid: str) -> None:
@@ -436,11 +530,34 @@ class RuntimeBase:
         ro_allowed = self.supports_readonly and ro_method
         mode = AccessMode.RO if ro_allowed else AccessMode.EX
         self._eid_counter += 1
-        event = Event(self._eid_counter, spec, mode, client.name, self.sim.now, tag)
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.reinit(self._eid_counter, spec, mode, client.name, self.sim.now, tag)
+        else:
+            event = Event(self._eid_counter, spec, mode, client.name, self.sim.now, tag)
         completion = Signal(self.sim, "event")
         self.events_inflight += 1
         _EventProcess(self, event, completion, self._event_process(event, client))
         return completion
+
+    def recycle_event(self, event: Optional[Event]) -> None:
+        """Return a finished event record to the allocation pool.
+
+        Safe only once the runtime can no longer reference the record:
+        it finished (``held`` is ``None``) and every lock release it
+        scheduled has fired (``release_horizon`` strictly in the past —
+        simulated time is monotonic, so the check holds forever after).
+        Ineligible events are left to the garbage collector, so callers
+        may hand back every event they observe.
+        """
+        if (
+            event is not None
+            and event.held is None
+            and event.release_horizon < self.sim.now
+            and len(self._event_pool) < 2048
+        ):
+            self._event_pool.append(event)
 
     def _finish_event(self, event: Event, completion: Signal) -> None:
         if event.committed_ms is None:
@@ -544,11 +661,16 @@ class RuntimeBase:
         the method's return value.
         """
         target = spec.target
-        try:
-            instance = self.instances[target]
-            server = self.cluster.servers[self.placement[target]]
-        except KeyError:
-            instance = self.instance_of(target)
+        table = self.table
+        slot = table.index.get(target)
+        instance = table.instance[slot] if slot is not None else None
+        if instance is None:
+            instance = self.instance_of(target)  # materializes bulk rows
+            slot = instance._aeon_slot
+        owner = table.owner[slot]
+        if owner is not None:
+            server = self.cluster.servers[owner]
+        else:
             server = self.server_of(target)
         meta = self._method_meta.get((instance.__class__, spec.method))
         if meta is None:
@@ -571,16 +693,18 @@ class RuntimeBase:
                 )
             if not ro_method and self.fencing is not None:
                 self.fencing.check_write(instance.cid)
-        # Version tracking (_record_access, inlined: once per call).
-        cid = instance.cid
+        # Version tracking (_record_access, inlined: once per call); the
+        # counter lives in the table's version column, indexed by slot.
+        cid = instance._aeon_cid
         writes = event.writes
+        version = table.version
         if ro_method:
             if cid not in writes:
-                event.reads[cid] = instance._aeon_version
+                event.reads[cid] = version[slot]
         else:
             if cid not in writes:
-                instance._aeon_version += 1
-            writes[cid] = instance._aeon_version
+                version[slot] += 1
+            writes[cid] = version[slot]
         yield self._charge(server, cost_ms)
         if func is not None:
             outcome = func(instance, *spec.args, **spec.kwargs)
@@ -653,7 +777,9 @@ class RuntimeBase:
         makes the per-context execution order inherit the sequencer
         (dominator / root) order, and what keeps chain release safe.
         """
-        lock = self.locks.get(cid)
+        table = self.table
+        slot = table.index.get(cid)
+        lock = table.lock[slot] if slot is not None else None
         if lock is None:
             lock = self.lock_of(cid)
         grant, owned = lock.request(event)
@@ -750,17 +876,20 @@ class RuntimeBase:
     def _dispatch_release(self, lock: ContextLock, delay: float, event: Event) -> None:
         """Schedule one lock release ``delay`` ms out (0 = immediate queue)."""
         sim = self.sim
+        at = sim.now + delay
+        if at > event.release_horizon:
+            event.release_horizon = at
         if delay == 0.0:  # zero-latency model: immediate queue, not timers
             sim.call_soon(lock.release, event)
         else:
             sim._sequence += 1
-            sim._timers.push(
-                (sim.now + delay, sim._sequence, lock.release, (event,))
-            )
+            sim._timers.push((at, sim._sequence, lock.release, (event,)))
 
     def _schedule_release(self, event: Event, cid: str, from_server: Server) -> None:
         """Release ``cid`` after the release message's one-way latency."""
-        lock = self.locks.get(cid)
+        table = self.table
+        slot = table.index.get(cid)
+        lock = table.lock[slot] if slot is not None else None
         if lock is None:
             lock = self.lock_of(cid)
         delay = self._release_delay(from_server, cid)
@@ -783,9 +912,13 @@ class RuntimeBase:
         timer push (and one dispatch) per group instead of per lock.
         """
         sim = self.sim
+        table = self.table
+        lock_col = table.lock
+        index = table.index
         groups: Dict[float, List[ContextLock]] = {}
         for cid in cids:
-            lock = self.locks.get(cid)
+            slot = index.get(cid)
+            lock = lock_col[slot] if slot is not None else None
             if lock is None:
                 lock = self.lock_of(cid)
             delay = self._release_delay(from_server, cid)
@@ -800,17 +933,16 @@ class RuntimeBase:
         for delay, locks in groups.items():
             if len(locks) == 1:
                 self._dispatch_release(locks[0], delay, event)
-            elif delay == 0.0:
+                continue
+            at = sim.now + delay
+            if at > event.release_horizon:
+                event.release_horizon = at
+            if delay == 0.0:
                 sim.call_soon(_release_lock_batch, sim, locks, event)
             else:
                 sim._sequence += 1
                 sim._timers.push(
-                    (
-                        sim.now + delay,
-                        sim._sequence,
-                        _release_lock_batch,
-                        (sim, locks, event),
-                    )
+                    (at, sim._sequence, _release_lock_batch, (sim, locks, event))
                 )
 
     # ------------------------------------------------------------------
@@ -841,8 +973,15 @@ class RuntimeBase:
     # Introspection
     # ------------------------------------------------------------------
     def context_count(self) -> int:
-        """Number of live (non-virtual) contexts."""
-        return len(self.instances)
+        """Number of live (non-virtual) contexts, including bulk rows
+        whose instances have not materialized yet."""
+        instance_col = self.table.instance
+        lazy = 0
+        for start, end, _cls in self._bulk_ranges:
+            for slot in range(start, end):
+                if instance_col[slot] is None:
+                    lazy += 1
+        return len(self.instances) + lazy
 
     def check_history(self) -> None:
         """Run the strict-serializability checker (requires history)."""

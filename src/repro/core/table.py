@@ -1,0 +1,217 @@
+"""Columnar context state: the struct-of-arrays :class:`ContextTable`.
+
+A simulated deployment used to keep per-context bookkeeping spread over
+three plain dicts on the runtime (``instances``, ``placement``,
+``locks``) plus an ``_aeon_version`` attribute on every instance.  That
+layout caps scale: a million contexts means a million object graphs and
+four hash lookups per dispatch.
+
+The table flips the layout to struct-of-arrays.  Every context id is
+*interned* once into a dense integer slot, and each piece of per-context
+state is a parallel column indexed by that slot:
+
+* ``cids[slot]``     — the interned string cid (``None`` = free slot);
+* ``instance[slot]`` — the live :class:`~repro.core.context.ContextClass`
+  object, or ``None`` (not yet materialized / unregistered);
+* ``owner[slot]``    — the hosting server's name (placement);
+* ``lock[slot]``     — the per-context :class:`~repro.core.locking.ContextLock`;
+* ``version[slot]``  — the write-version counter (``_aeon_version``);
+* ``parent[slot]``   — slot of the single ownership parent, ``-1`` if
+  none/multiple (a structural hint, not the ownership source of truth).
+
+Instances carry their slot as ``_aeon_slot`` so hot paths (version
+bumps, lock grabs, server lookups) are one list index instead of a dict
+probe per hop.
+
+**Determinism contract.**  The legacy dicts were iterated by product
+code (e.g. the eManager's scale-in scan walks ``placement.items()``),
+so iteration order is observable in traces.  Slot order is *not*
+insertion order once free slots are recycled, so the mapping facade
+:class:`ContextColumnView` keeps a per-view insertion-order dict of
+keys (values stay in the columns).  A view therefore behaves exactly
+like the dict it replaced — same iteration order, same semantics on
+overwrite (position kept) and re-insert after delete (moves to the
+end) — and the columns stay dense for the hot paths.
+
+A slot is freed only when all three views have released it (instance,
+owner and lock columns all ``None``); ``compact()`` squeezes out free
+slots in cid-sorted live order and re-stamps ``_aeon_slot`` on live
+instances.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import MutableMapping
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ContextTable", "ContextColumnView"]
+
+
+class ContextTable:
+    """Dense struct-of-arrays storage for per-context runtime state."""
+
+    __slots__ = ("index", "cids", "instance", "owner", "lock", "version",
+                 "parent", "_free")
+
+    def __init__(self) -> None:
+        #: cid -> slot intern map (the only string-keyed lookup left).
+        self.index: Dict[str, int] = {}
+        self.cids: List[Optional[str]] = []
+        self.instance: List[object] = []
+        self.owner: List[Optional[str]] = []
+        self.lock: List[object] = []
+        self.version = array("q")
+        self.parent = array("q")
+        self._free: List[int] = []
+
+    def __len__(self) -> int:
+        """Number of live (interned, not freed) rows."""
+        return len(self.index)
+
+    @property
+    def capacity(self) -> int:
+        """Total rows including free slots (the physical column length)."""
+        return len(self.cids)
+
+    def intern(self, cid: str) -> int:
+        """Return ``cid``'s slot, allocating (or recycling) a row if new."""
+        slot = self.index.get(cid)
+        if slot is not None:
+            return slot
+        free = self._free
+        if free:
+            slot = free.pop()
+            self.cids[slot] = cid
+            self.version[slot] = 0
+            self.parent[slot] = -1
+        else:
+            slot = len(self.cids)
+            self.cids.append(cid)
+            self.instance.append(None)
+            self.owner.append(None)
+            self.lock.append(None)
+            self.version.append(0)
+            self.parent.append(-1)
+        self.index[cid] = slot
+        return slot
+
+    def slot(self, cid: str) -> int:
+        """Slot of an interned cid; raises ``KeyError`` if unknown."""
+        return self.index[cid]
+
+    def grow(self, count: int) -> int:
+        """Append ``count`` fresh unnamed rows; returns the first slot.
+
+        Used by bulk context creation: the caller interns the cids into
+        the contiguous range afterwards.  Never recycles free slots, so
+        the returned range ``[start, start + count)`` is contiguous.
+        """
+        start = len(self.cids)
+        self.cids.extend([None] * count)
+        self.instance.extend([None] * count)
+        self.owner.extend([None] * count)
+        self.lock.extend([None] * count)
+        self.version.extend([0] * count)
+        self.parent.extend([-1] * count)
+        return start
+
+    def _maybe_free(self, slot: int) -> None:
+        """Recycle ``slot`` once no column holds state for it."""
+        if (self.instance[slot] is None and self.owner[slot] is None
+                and self.lock[slot] is None):
+            cid = self.cids[slot]
+            if cid is not None:
+                del self.index[cid]
+                self.cids[slot] = None
+                self._free.append(slot)
+
+    def compact(self) -> Dict[int, int]:
+        """Squeeze out free slots; returns the old-slot -> new-slot map.
+
+        Live rows are laid out in sorted-cid order (a total order — no
+        dependence on historical allocation), columns are rebuilt *in
+        place* (views and the runtime hold references to the column
+        objects), ``parent`` links are remapped, and every live
+        instance gets its ``_aeon_slot`` re-stamped.
+        """
+        order = sorted(self.index)
+        remap = {self.index[cid]: new for new, cid in enumerate(order)}
+        old_parent = self.parent
+        new_parent = array("q", (
+            remap.get(old_parent[self.index[cid]], -1) for cid in order))
+        for column in (self.instance, self.owner, self.lock):
+            column[:] = [column[self.index[cid]] for cid in order]
+        self.version = array("q", (self.version[self.index[cid]] for cid in order))
+        self.parent = new_parent
+        self.cids[:] = order
+        self.index = {cid: slot for slot, cid in enumerate(order)}
+        self._free = []
+        for slot, instance in enumerate(self.instance):
+            if instance is not None:
+                object.__setattr__(instance, "_aeon_slot", slot)
+        return remap
+
+
+class ContextColumnView(MutableMapping):
+    """A dict-shaped view over one :class:`ContextTable` column.
+
+    Replicates plain-dict semantics exactly — including insertion-order
+    iteration, which product code observes (the eManager scale-in scan
+    walks ``placement.items()`` unsorted) — while the values live in the
+    dense column.  ``None`` is the absent sentinel: columns never hold
+    ``None`` for a present key.
+    """
+
+    __slots__ = ("_table", "_column", "_order")
+
+    def __init__(self, table: ContextTable, column) -> None:
+        self._table = table
+        self._column = column
+        # Insertion-order key registry (values always None); bulk
+        # creation appends here directly to skip per-key intern calls.
+        self._order: Dict[str, None] = {}
+
+    def __getitem__(self, cid: str):
+        slot = self._table.index.get(cid)
+        if slot is None:
+            raise KeyError(cid)
+        value = self._column[slot]
+        if value is None:
+            raise KeyError(cid)
+        return value
+
+    def get(self, cid: str, default=None):
+        slot = self._table.index.get(cid)
+        if slot is None:
+            return default
+        value = self._column[slot]
+        return default if value is None else value
+
+    def __contains__(self, cid: object) -> bool:
+        slot = self._table.index.get(cid)
+        return slot is not None and self._column[slot] is not None
+
+    def __setitem__(self, cid: str, value) -> None:
+        if value is None:
+            raise ValueError("None is the absent sentinel; cannot store it")
+        self._column[self._table.intern(cid)] = value
+        self._order[cid] = None  # appends if new, keeps position if present
+
+    def __delitem__(self, cid: str) -> None:
+        table = self._table
+        slot = table.index.get(cid)
+        if slot is None or self._column[slot] is None:
+            raise KeyError(cid)
+        self._column[slot] = None
+        del self._order[cid]
+        table._maybe_free(slot)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({dict(self.items())!r})"

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..apps.game import GameConfig, Room, build_game
+from ..apps.massive import MassiveConfig, build_massive, run_checksum
 from ..apps.tpcc import TpccConfig, TpccWorkload, build_tpcc
 from ..core.costs import DEFAULT_COSTS
 from ..core.runtime import FAILED_TAG
@@ -50,7 +51,7 @@ from ..faults import (
 )
 from ..results.store import open_store
 from ..sim.cluster import INSTANCE_TYPES, M1_SMALL, M3_LARGE, Server
-from ..sim.metrics import mean, percentile
+from ..sim.metrics import LatencyRecorder, mean, percentile
 from ..workloads.generators import ClosedLoopClients, DynamicClients, RampProfile
 from ..workloads.sla import availability_slo, sla_report
 from .report import format_table
@@ -115,6 +116,13 @@ class Scale:
     churn_start_ms: float = 5000.0
     churn_checkpoint_ms: float = 1500.0
     churn_restart_ms: Tuple[float, float] = (1500.0, 4000.0)
+    # massive tier (columnar bulk registration) sizing.
+    massive_contexts: int = 100_000
+    massive_servers: int = 32
+    massive_clients: int = 256
+    massive_duration_ms: float = 800.0
+    massive_warmup_ms: float = 200.0
+    massive_think_ms: float = 2.0
 
 
 SCALES: Dict[str, Scale] = {
@@ -161,6 +169,35 @@ SCALES: Dict[str, Scale] = {
         churn_start_ms=10000.0,
         churn_checkpoint_ms=2000.0,
         churn_restart_ms=(2000.0, 8000.0),
+        massive_contexts=300_000,
+        massive_servers=96,
+        massive_clients=384,
+        massive_duration_ms=1200.0,
+        massive_warmup_ms=300.0,
+        massive_think_ms=2.0,
+    ),
+    # The million-context tier: figure sizing mirrors "full" (so any
+    # scenario *can* run here), but what the preset is for is the
+    # massive_* scenarios — a 1M-leaf population on a several-hundred
+    # server fleet, bulk-registered through the columnar table.
+    "massive": Scale(
+        game_duration_ms=2500.0,
+        game_warmup_ms=700.0,
+        game_clients_per_server=110,
+        tpcc_duration_ms=15000.0,
+        tpcc_warmup_ms=4000.0,
+        tpcc_clients_per_server=16,
+        server_counts=(2, 4, 8, 12, 16),
+        client_sweep=(8, 24, 64, 128, 256, 512),
+        elastic_duration_ms=60000.0,
+        migration_duration_ms=20000.0,
+        emanager_batch=120,
+        massive_contexts=1_000_000,
+        massive_servers=256,
+        massive_clients=768,
+        massive_duration_ms=1500.0,
+        massive_warmup_ms=300.0,
+        massive_think_ms=2.0,
     ),
 }
 
@@ -1420,6 +1457,69 @@ def _fig9_cell(itype_name: str, size_bytes: int, scale: str, seed: int) -> float
     return batch / elapsed_s if elapsed_s > 0 else 0.0
 
 
+def _massive_run(flavor: str, scale: str, seed: int) -> Dict[str, object]:
+    """One massive-tier run: bulk-registered leaves under closed-loop load.
+
+    The scale preset's ``massive_*`` sizing drives everything: a
+    ``massive_contexts``-leaf tree (see :mod:`repro.apps.massive`) is
+    registered through the columnar bulk path — no instances, no locks —
+    and ``massive_clients`` closed-loop clients sample uniformly over
+    the population, materializing only the leaves they actually touch.
+    The latency recorder runs with a low sampling threshold so
+    percentile queries answer from its bounded reservoir, and the
+    returned ``checksum`` (materialized leaf state in sorted-cid order
+    plus the completion count) pins the run's determinism.
+    """
+    sizing = SCALES[scale]
+    duration = sizing.massive_duration_ms
+    testbed = make_testbed("aeon", sizing.massive_servers, seed=seed)
+    # Swap the recorder before any event completes: massive runs engage
+    # reservoir sampling almost immediately instead of at the default
+    # exact-mode threshold, bounding metric memory at any event count.
+    testbed.runtime.latency = LatencyRecorder(sample_threshold=65536)
+    config = MassiveConfig(contexts=sizing.massive_contexts, flavor=flavor)
+    app = build_massive(testbed.runtime, config, testbed.servers)
+    clients = ClosedLoopClients(
+        testbed.runtime,
+        app.sample_op,
+        n_clients=sizing.massive_clients,
+        think_ms=sizing.massive_think_ms,
+        rng=testbed.rng,
+        stop_at_ms=duration,
+    )
+    clients.start()
+    testbed.sim.run(until=duration + 2000.0)
+    result = measure(
+        "aeon", testbed, clients.n_clients, sizing.massive_warmup_ms, duration
+    )
+    runtime = testbed.runtime
+    return {
+        "flavor": flavor,
+        "contexts": runtime.context_count(),
+        "materialized": len(runtime.instances),
+        "servers": sizing.massive_servers,
+        "clients": clients.n_clients,
+        "completed": result.completed,
+        "throughput_per_s": result.throughput_per_s,
+        "mean_latency_ms": result.mean_latency_ms,
+        "p50_latency_ms": result.p50_latency_ms,
+        "p99_latency_ms": result.p99_latency_ms,
+        "sampling": runtime.latency.sampling,
+        "errors": len(clients.errors),
+        "checksum": run_checksum(runtime, app),
+    }
+
+
+def _massive_game_cell(rep: int, scale: str, seed: int) -> Dict[str, object]:
+    """One repetition of the massive game-flavor run (``seed + rep``)."""
+    return _massive_run("game", scale, seed + rep)
+
+
+def _massive_tpcc_cell(rep: int, scale: str, seed: int) -> Dict[str, object]:
+    """One repetition of the massive TPC-C-flavor run (``seed + rep``)."""
+    return _massive_run("tpcc", scale, seed + rep)
+
+
 def _ablation_cell(early_release: bool, scale: str, seed: int) -> float:
     """One ablation run: TPC-C throughput with the given release mode."""
     sizing = SCALES[scale]
@@ -1644,6 +1744,32 @@ def _assemble_split_brain(spec, cells, results):
             ),
         },
     }
+
+
+def _assemble_massive(spec, cells, results):
+    """The single run dict (one rep) or ``{rep: run}`` (sharded reps)."""
+    if len(results) == 1:
+        return results[0].value
+    return {f"rep{cell.key[0]}": r.value for cell, r in zip(cells, results)}
+
+
+def _render_massive(spec, data) -> str:
+    runs = [data] if "contexts" in data else list(data.values())
+    lines = [spec.title, ""]
+    for run in runs:
+        lines.append(
+            f"  {run['flavor']:>5}: {run['contexts']:,} contexts "
+            f"({run['materialized']:,} materialized) on {run['servers']} "
+            f"servers, {run['clients']} clients"
+        )
+        lines.append(
+            f"         {run['throughput_per_s']:,.1f} ev/s  "
+            f"p50={run['p50_latency_ms']:.2f} ms  "
+            f"p99={run['p99_latency_ms']:.2f} ms  "
+            f"sampling={run['sampling']}  errors={run['errors']}"
+        )
+        lines.append(f"         checksum {run['checksum'][:16]}…")
+    return "\n".join(lines)
 
 
 def _assemble_churn_sweep(spec, cells, results):
@@ -2358,6 +2484,43 @@ def _partition_recovery() -> ScenarioSpec:
         ),
         output="runs",
         render=f"{_SCN}:_render_partition_recovery",
+    )
+
+
+@scenario
+def _massive_game() -> ScenarioSpec:
+    """A million bulk-registered game players on the columnar core."""
+    return ScenarioSpec(
+        name="massive_game",
+        title="Massive game — a million players on the columnar core",
+        description="A huge single-parent player population registered "
+        "through the columnar bulk path: leaves materialize lazily on "
+        "first touch, percentiles come from the reservoir-sampling "
+        "recorder, and a state digest pins determinism.  ~100k contexts "
+        "at --scale quick (the CI smoke tier), 1M+ at --scale massive.",
+        cell=f"{_SCN}:_massive_game_cell",
+        axes=(("rep", (0,)),),
+        output="massive",
+        assemble=f"{_SCN}:_assemble_massive",
+        render=f"{_SCN}:_render_massive",
+    )
+
+
+@scenario
+def _massive_tpcc() -> ScenarioSpec:
+    """A million bulk-registered TPC-C terminals on the columnar core."""
+    return ScenarioSpec(
+        name="massive_tpcc",
+        title="Massive TPC-C — a million terminals on the columnar core",
+        description="The TPC-C-shaped massive tier: order-submitting "
+        "terminal leaves under district shards, bulk-registered and "
+        "lazily materialized.  ~100k contexts at --scale quick (the CI "
+        "smoke tier), 1M+ at --scale massive.",
+        cell=f"{_SCN}:_massive_tpcc_cell",
+        axes=(("rep", (0,)),),
+        output="massive",
+        assemble=f"{_SCN}:_assemble_massive",
+        render=f"{_SCN}:_render_massive",
     )
 
 

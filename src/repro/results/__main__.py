@@ -3,11 +3,15 @@
     python -m repro.results ls                  # list persisted entries
     python -m repro.results stats               # totals + per-scenario split
     python -m repro.results gc --older-than 7d  # drop entries older than AGE
+    python -m repro.results gc --max-bytes 256M # shrink to a byte budget
     python -m repro.results clear               # drop every entry
 
 ``--dir PATH`` (or ``REPRO_RESULTS_DIR``) selects the store; the
 default is ``.repro_results/`` in the current directory.  ``AGE``
-accepts ``30s``, ``45m``, ``12h``, ``7d`` or plain seconds.  See
+accepts ``30s``, ``45m``, ``12h``, ``7d`` or plain seconds; ``SIZE``
+accepts ``512K``, ``256M``, ``2G`` or plain bytes.  ``gc`` needs at
+least one criterion; with both, the age filter runs first, then the
+oldest surviving entries are evicted until the budget fits.  See
 docs/ARCHITECTURE.md § Result store.
 """
 
@@ -20,6 +24,26 @@ from typing import List, Optional
 from .store import ResultStore, resolve_dir
 
 _AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+_SIZE_UNITS = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_size(text: str) -> int:
+    """``"512K"/"256M"/"2G"`` (or bare bytes) -> bytes."""
+    text = text.strip().lower().rstrip("b")
+    unit = 1
+    if text and text[-1] in _SIZE_UNITS:
+        unit = _SIZE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r}; use e.g. 512K, 256M, 2G or bytes"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be >= 0")
+    return int(value * unit)
 
 
 def parse_age(text: str) -> float:
@@ -68,13 +92,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
     commands.add_parser("ls", help="list persisted entries")
     commands.add_parser("stats", help="entry/byte totals and per-scenario split")
-    gc = commands.add_parser("gc", help="drop entries older than --older-than")
+    gc = commands.add_parser(
+        "gc", help="drop entries by age and/or shrink to a byte budget"
+    )
     gc.add_argument(
         "--older-than",
         type=parse_age,
-        required=True,
+        default=None,
         metavar="AGE",
         help="drop entries older than AGE (30s, 45m, 12h, 7d or seconds)",
+    )
+    gc.add_argument(
+        "--max-bytes",
+        type=parse_size,
+        default=None,
+        metavar="SIZE",
+        help="evict oldest entries until the store fits SIZE "
+        "(512K, 256M, 2G or bytes)",
     )
     commands.add_parser("clear", help="drop every entry")
     args = parser.parse_args(argv)
@@ -108,7 +142,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{row['wall_ms'] / 1000.0:>7.1f} s"
             )
     elif args.command == "gc":
-        removed = store.gc(args.older_than)
+        if args.older_than is None and args.max_bytes is None:
+            parser.error("gc needs --older-than and/or --max-bytes")
+        removed = store.gc(args.older_than, max_bytes=args.max_bytes)
         print(f"gc: removed {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
     elif args.command == "clear":
         removed = store.clear()

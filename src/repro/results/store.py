@@ -6,7 +6,7 @@ Layout (one directory, default ``.repro_results/``)::
         FORMAT            # the store/kernel version tag; mismatch wipes
         manifest.jsonl    # one JSON line per persisted entry (append-only)
         objects/
-            <sha256>.pkl  # one pickled cell value per content key
+            <sha256>.pkl  # one zlib-compressed pickled value per key
 
 Key derivation: :func:`cell_key` canonicalizes the cell's payload —
 its ``"module:function"`` body path plus every kwarg, with frozen spec
@@ -38,6 +38,7 @@ import os
 import pickle
 import threading
 import time
+import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
@@ -60,7 +61,8 @@ __all__ = [
 log = logging.getLogger("repro.results")
 
 #: Store layout generation: bump when the on-disk format changes.
-FORMAT_VERSION = 1
+#: 2: object files are zlib-compressed pickles (v1 stores wipe on open).
+FORMAT_VERSION = 2
 
 #: Kernel/result generation: bump whenever simulation semantics change
 #: (anything that would regenerate tests/data/figures_quick_seed0.json).
@@ -236,7 +238,7 @@ class ResultStore:
         key = cell_key(cell)
         try:
             with open(self._path(key), "rb") as handle:
-                value = pickle.load(handle)
+                value = pickle.loads(zlib.decompress(handle.read()))
         except FileNotFoundError:
             with self._lock:
                 self.misses += 1
@@ -265,7 +267,8 @@ class ResultStore:
         valid (merely unlisted) entry, never a listed-but-broken one.
         """
         key = cell_key(cell)
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = zlib.compress(raw)
         entry = {
             "key": key,
             "scenario": _scenario_of(cell),
@@ -274,6 +277,7 @@ class ResultStore:
             "wall_ms": round(float(wall_ms), 3),
             "created_at": time.time(),
             "bytes": len(blob),
+            "raw_bytes": len(raw),
             "status": status,
         }
         with self._lock:
@@ -368,13 +372,27 @@ class ResultStore:
         blob = "".join(json.dumps(e, sort_keys=True) + "\n" for e in keep)
         _atomic_write_bytes(self._manifest, blob.encode("utf-8"))
 
-    def gc(self, older_than_s: float) -> int:
-        """Drop entries older than ``older_than_s`` seconds; returns the count."""
+    def gc(
+        self,
+        older_than_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Drop entries by age and/or shrink the store to a byte budget.
+
+        ``older_than_s`` removes entries older than that many seconds;
+        ``max_bytes`` then evicts the *oldest* surviving entries until
+        the remaining on-disk bytes fit the budget (``entries()`` sorts
+        oldest-first, so eviction order is deterministic).  Either
+        criterion may be used alone.  Returns the number removed.
+        """
         now = time.time()
         kept: List[Dict[str, Any]] = []
         removed = 0
         for entry in self.entries():
-            if now - float(entry.get("created_at", 0.0)) > older_than_s:
+            if (
+                older_than_s is not None
+                and now - float(entry.get("created_at", 0.0)) > older_than_s
+            ):
                 try:
                     self._path(entry["key"]).unlink()
                 except OSError:
@@ -382,6 +400,20 @@ class ResultStore:
                 removed += 1
             else:
                 kept.append(entry)
+        if max_bytes is not None:
+            total = sum(int(entry["bytes"]) for entry in kept)
+            survivors: List[Dict[str, Any]] = []
+            for entry in kept:
+                if total > max_bytes:
+                    try:
+                        self._path(entry["key"]).unlink()
+                    except OSError:
+                        pass
+                    total -= int(entry["bytes"])
+                    removed += 1
+                else:
+                    survivors.append(entry)
+            kept = survivors
         self._rewrite_manifest(kept)
         self._sweep_tmp()
         return removed

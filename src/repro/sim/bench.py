@@ -1,6 +1,6 @@
 """Kernel/runtime microbenchmarks: ``python -m repro.sim.bench``.
 
-Four benchmarks bracket the simulation hot path, from pure kernel to
+Five benchmarks bracket the simulation hot path, from pure kernel to
 full stack:
 
 * ``timeout_storm``   — many processes sleeping in tight loops (heap
@@ -11,7 +11,9 @@ full stack:
 * ``resource_contention`` — processes contending on a 2-core
   :class:`~repro.sim.queues.Resource` (grant/release, waiter wakeup);
 * ``game_tick``       — one end-to-end AEON game run (the whole stack:
-  protocol, locking, network, metrics).
+  protocol, locking, network, metrics);
+* ``massive_bulk``    — a quarter-million bulk-registered leaf contexts
+  (columnar table, lazy materialization) under closed-loop load.
 
 Each benchmark reports wall-clock events/second.  Results are merged
 into a JSON file (default ``BENCH_kernel.json``) under a ``--label``
@@ -110,11 +112,43 @@ def _bench_game_tick() -> Dict[str, float]:
     return {"events": result.completed, "wall_s": elapsed}
 
 
+def _bench_massive_bulk() -> Dict[str, float]:
+    """250k bulk-registered leaves, 512 clients, 600 ms of sampled taps.
+
+    Wall clock covers the whole massive-tier path: columnar bulk
+    registration, lazy first-touch materialization and the event loop.
+    """
+    from ..apps.massive import MassiveConfig, build_massive  # late: avoids a cycle
+    from ..harness.runner import make_testbed
+    from ..workloads.generators import ClosedLoopClients
+
+    contexts = 250_000
+    start = time.perf_counter()
+    testbed = make_testbed("aeon", 32, seed=0)
+    app = build_massive(
+        testbed.runtime, MassiveConfig(contexts=contexts), testbed.servers
+    )
+    clients = ClosedLoopClients(
+        testbed.runtime,
+        app.sample_op,
+        n_clients=512,
+        think_ms=2.0,
+        rng=testbed.rng,
+        stop_at_ms=600.0,
+    )
+    clients.start()
+    testbed.sim.run(until=2600.0)
+    elapsed = time.perf_counter() - start
+    completed = testbed.runtime.throughput.count_between(0.0, 2600.0)
+    return {"events": completed, "wall_s": elapsed, "contexts": contexts}
+
+
 BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
     "timeout_storm": _bench_timeout_storm,
     "store_pingpong": _bench_store_pingpong,
     "resource_contention": _bench_resource_contention,
     "game_tick": _bench_game_tick,
+    "massive_bulk": _bench_massive_bulk,
 }
 
 

@@ -561,10 +561,22 @@ class AdaptiveTimers:
     timers), where heap operations are a couple of C calls and the
     wheel's Python-level bucket bookkeeping cannot compete.  This queue
     takes both regimes: it runs the heap code while the live size stays
-    below :data:`UP`, hands every live entry to fresh calendar state
-    when a push crosses it, and hands back when a pop drains below
-    :data:`DOWN` (hysteresis, so a population oscillating around one
-    threshold cannot thrash migrations).
+    below the upshift threshold, hands every live entry to fresh
+    calendar state when a push crosses it, and hands back when a pop
+    drains below the downshift threshold.
+
+    The thresholds are **auto-tuned online**: :data:`UP`/:data:`DOWN`
+    (64/24, PR 4's measured crossover) only seed the band.  Every
+    migration observes the live size at the handoff and folds it into
+    an integer EWMA (``_ewma16``, a 16x fixed-point mean of the sizes
+    at which the population actually crosses modes); the band is then
+    recentered around that profile — upshift at ~2x the mean, downshift
+    at ~mean/2 (clamped to ``[DOWN_MIN, up/4]``, keeping hysteresis) —
+    so a population oscillating around one fixed threshold widens its
+    own band instead of thrashing migrations, while a fresh queue
+    behaves exactly like the fixed-constant version until the first
+    handoff.  Threshold choice affects only *when* handoffs happen,
+    never pop order, so traces stay bit-identical by construction.
 
     Implementation note: instead of delegating to an inner queue object
     (a wrapper layer costs ~10 % on the push/pop hot path, defeating
@@ -585,10 +597,14 @@ class AdaptiveTimers:
     docs/ARCHITECTURE.md § Timer queues.
     """
 
-    #: Live size above which a push migrates heap -> calendar.
+    #: Initial (and minimum) heap -> calendar upshift threshold.
     UP = 64
-    #: Live size below which a pop migrates calendar -> heap.
+    #: Initial calendar -> heap downshift threshold.
     DOWN = 24
+    #: Hard ceiling for the auto-tuned upshift threshold.
+    UP_MAX = 4096
+    #: Hard floor for the auto-tuned downshift threshold.
+    DOWN_MIN = 8
 
     # Union of both modes' state so __class__ switching keeps one layout.
     __slots__ = (
@@ -602,6 +618,9 @@ class AdaptiveTimers:
         "_size",
         "_scan_debt",
         "_pops_since_tune",
+        "_up",
+        "_down",
+        "_ewma16",
         "head",
     )
 
@@ -613,11 +632,48 @@ class AdaptiveTimers:
     def __init__(self) -> None:
         self._heap = []
         self.head = None
+        self._up = self.UP
+        self._down = self.DOWN
+        self._ewma16 = 0
 
     @property
     def mode(self) -> str:
         """The active implementation: ``"heap"`` or ``"calendar"``."""
         return "heap" if isinstance(self, _AdaptiveHeap) else "calendar"
+
+    @property
+    def band(self) -> Tuple[int, int]:
+        """The current auto-tuned ``(upshift, downshift)`` thresholds."""
+        return (self._up, self._down)
+
+    def _observe(self, n: int) -> None:
+        """Fold a migration-time live size into the threshold band.
+
+        Integer-only: ``_ewma16`` holds 16x the running mean of the
+        sizes at which the population crossed modes (gain 1/4 per
+        observation).  The band recenters on that profile — upshift at
+        ~2x the mean (clamped to [UP, UP_MAX]), downshift at ~mean/2
+        (clamped to [DOWN_MIN, upshift/4]) — so hysteresis always spans
+        at least 4x and an oscillating population settles into one mode
+        instead of thrashing handoffs.
+        """
+        e = self._ewma16
+        e = (n << 4) if e == 0 else e + (((n << 4) - e) >> 2)
+        self._ewma16 = e
+        m = e >> 4
+        up = m << 1
+        if up < self.UP:
+            up = self.UP
+        elif up > self.UP_MAX:
+            up = self.UP_MAX
+        down = m >> 1
+        cap = up >> 2
+        if down > cap:
+            down = cap
+        if down < self.DOWN_MIN:
+            down = self.DOWN_MIN
+        self._up = up
+        self._down = down
 
 
 class _AdaptiveHeap(_HeapOps, AdaptiveTimers):
@@ -630,7 +686,7 @@ class _AdaptiveHeap(_HeapOps, AdaptiveTimers):
         heap = self._heap
         heappush(heap, entry)
         self.head = heap[0]
-        if len(heap) > self.UP:
+        if len(heap) > self._up:
             self._to_calendar()
 
     def _to_calendar(self) -> None:
@@ -638,6 +694,7 @@ class _AdaptiveHeap(_HeapOps, AdaptiveTimers):
         # within the set is irrelevant: each mode orders pops by
         # (fire_at, seq) on its own, so the handoff is exact.
         entries = self._heap
+        self._observe(len(entries))
         self._heap = []
         self.__class__ = _AdaptiveCalendar
         self._init_calendar()
@@ -667,7 +724,7 @@ class _AdaptiveCalendar(_CalendarOps, AdaptiveTimers):
             self.head = cur[i]
         else:
             self._promote()
-        if size < self.DOWN:
+        if size < self._down:
             self._to_heap()
         return entry
 
@@ -675,6 +732,7 @@ class _AdaptiveCalendar(_CalendarOps, AdaptiveTimers):
         # Move the live set verbatim onto a fresh heap (see _to_calendar).
         entries = [entry for bucket in self._buckets.values() for entry in bucket]
         entries.extend(self._cur[self._cur_i :])
+        self._observe(len(entries))
         self._buckets = {}
         self._cur = []
         self.__class__ = _AdaptiveHeap

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
+from random import Random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "DEFAULT_SAMPLE_THRESHOLD",
     "LatencySample",
     "LatencyRecorder",
     "ThroughputRecorder",
@@ -56,6 +58,14 @@ class LatencySample:
         return self.end_ms - self.start_ms
 
 
+#: Exact-to-sampled switchover: below this many samples the recorder
+#: keeps every completion (the golden-pinned figures run far below it,
+#: so their metrics stay exact and byte-identical); at/above it the
+#: recorder degrades to a fixed-size reservoir plus exact scalar
+#: aggregates, bounding memory for massive-tier runs.
+DEFAULT_SAMPLE_THRESHOLD = 4_000_000
+
+
 class LatencyRecorder:
     """Collects completed-request samples and answers latency questions.
 
@@ -65,9 +75,25 @@ class LatencyRecorder:
     nondecreasing end-time order, so ``since_ms`` windows are located
     with :func:`bisect.bisect_left` instead of an O(n) scan; out-of-order
     records (hand-fed in tests) degrade gracefully to scans.
+
+    **Reservoir mode.**  Once ``sample_threshold`` samples have been
+    recorded, the recorder switches to Algorithm R reservoir sampling
+    over a fixed-size buffer of ``(start, end, tag)`` triples, seeded
+    deterministically: total count and latency sum stay exact (so
+    ``len``, ``count()`` and ``mean_latency()`` over the full run are
+    exact), while window/percentile queries answer from the reservoir —
+    unbiased estimates with the usual ~1/sqrt(k) error for a window
+    holding ``k`` reservoir points.  The threshold is far above every
+    golden-pinned figure's sample count, so quick/full figures never
+    leave exact mode.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        sample_threshold: int = DEFAULT_SAMPLE_THRESHOLD,
+        reservoir_size: int = 65536,
+        sample_seed: int = 0,
+    ) -> None:
         self._starts: List[float] = []
         self._ends: List[float] = []
         self._tags: List[str] = []
@@ -78,24 +104,102 @@ class LatencyRecorder:
         # same window sort once instead of once per call.
         self._sorted_key: Optional[tuple] = None
         self._sorted_view: List[float] = []
+        # Single-slot cache of the last window-bucket view (same idea):
+        # windowed count + percentile series over the same horizon reuse
+        # one O(n) bucketing pass instead of rescanning per query.
+        self._buckets_key: Optional[tuple] = None
+        self._buckets_view: Dict[int, List[float]] = {}
+        # Reservoir-sampling state (engaged at sample_threshold).
+        self._sample_threshold = max(1, int(sample_threshold))
+        self._reservoir_size = max(1, int(reservoir_size))
+        self._sample_seed = sample_seed
+        self._reservoir: Optional[List[Tuple[float, float, str]]] = None
+        self._rng: Optional[Random] = None
+        self._seen = 0
+        self._lat_sum = 0.0
+
+    @property
+    def sampling(self) -> bool:
+        """Whether the recorder has switched to reservoir mode."""
+        return self._reservoir is not None
 
     def __len__(self) -> int:
+        if self._reservoir is not None:
+            return self._seen
         return len(self._ends)
 
     def record(self, start_ms: float, end_ms: float, tag: str = "") -> None:
         """Record one completed request."""
         if end_ms < start_ms:
             raise ValueError("request completed before it started")
+        reservoir = self._reservoir
+        if reservoir is not None:
+            self._seen += 1
+            self._lat_sum += end_ms - start_ms
+            if len(reservoir) < self._reservoir_size:
+                reservoir.append((start_ms, end_ms, tag))
+            else:
+                j = self._rng.randrange(self._seen)
+                if j < self._reservoir_size:
+                    reservoir[j] = (start_ms, end_ms, tag)
+            return
         ends = self._ends
         if ends and end_ms < ends[-1]:
             self._monotonic = False
         self._starts.append(start_ms)
         ends.append(end_ms)
         self._tags.append(tag)
+        if len(ends) >= self._sample_threshold:
+            self._engage_sampling()
+
+    def _engage_sampling(self) -> None:
+        """Switch to reservoir mode: replay the exact samples, drop them.
+
+        Algorithm R over the existing stream with a fixed-seed RNG, so
+        the reservoir (and everything derived from it) is a pure
+        function of the recorded stream and the seed.
+        """
+        rng = Random(self._sample_seed)
+        size = self._reservoir_size
+        reservoir: List[Tuple[float, float, str]] = []
+        starts, ends, tags = self._starts, self._ends, self._tags
+        seen = 0
+        lat_sum = 0.0
+        for i in range(len(ends)):
+            seen += 1
+            lat_sum += ends[i] - starts[i]
+            if len(reservoir) < size:
+                reservoir.append((starts[i], ends[i], tags[i]))
+            else:
+                j = rng.randrange(seen)
+                if j < size:
+                    reservoir[j] = (starts[i], ends[i], tags[i])
+        self._reservoir = reservoir
+        self._rng = rng
+        self._seen = seen
+        self._lat_sum = lat_sum
+        self._starts = []
+        self._ends = []
+        self._tags = []
+        self._sorted_key = None
+        self._buckets_key = None
+
+    def _scale(self) -> float:
+        """How many recorded samples each reservoir point represents."""
+        reservoir = self._reservoir
+        if not reservoir:
+            return 1.0
+        return self._seen / len(reservoir)
 
     @property
     def samples(self) -> List[LatencySample]:
-        """Materialized sample objects (compatibility/introspection view)."""
+        """Materialized sample objects (compatibility/introspection view).
+
+        In reservoir mode this is the reservoir's content — a uniform
+        random subset of the stream — not every completion.
+        """
+        if self._reservoir is not None:
+            return [LatencySample(s, e, t) for s, e, t in self._reservoir]
         return [
             LatencySample(s, e, t)
             for s, e, t in zip(self._starts, self._ends, self._tags)
@@ -113,7 +217,16 @@ class LatencyRecorder:
         return len(self._ends)
 
     def latencies(self, since_ms: float = 0.0, tag: Optional[str] = None) -> List[float]:
-        """Latency values completed at/after ``since_ms`` (optionally by tag)."""
+        """Latency values completed at/after ``since_ms`` (optionally by tag).
+
+        Reservoir mode answers from the sampled subset.
+        """
+        reservoir = self._reservoir
+        if reservoir is not None:
+            return [
+                e - s for s, e, t in reservoir
+                if e >= since_ms and (tag is None or t == tag)
+            ]
         lo = self._first_at_or_after(since_ms)
         starts, ends, since = self._starts, self._ends, since_ms
         if tag is None:
@@ -139,8 +252,16 @@ class LatencyRecorder:
 
         ``tags`` restricts the result to samples whose tag is in the
         given set — how co-tenancy scenarios split one shared latency
-        stream into per-application views.
+        stream into per-application views.  Reservoir mode answers from
+        the sampled subset.
         """
+        reservoir = self._reservoir
+        if reservoir is not None:
+            wanted = None if tags is None else set(tags)
+            return [
+                e - s for s, e, t in reservoir
+                if since_ms <= e < before_ms and (wanted is None or t in wanted)
+            ]
         starts, ends = self._starts, self._ends
         tagset = None if tags is None else set(tags)
         if self._monotonic:
@@ -163,17 +284,35 @@ class LatencyRecorder:
         ]
 
     def count(self, since_ms: float = 0.0) -> int:
-        """Number of completions at/after ``since_ms``."""
+        """Number of completions at/after ``since_ms``.
+
+        Exact in exact mode; in reservoir mode the full-stream count is
+        exact and windowed counts are scaled reservoir estimates.
+        """
+        if self._reservoir is not None:
+            if since_ms <= 0.0:
+                return self._seen
+            reservoir = self._reservoir
+            if not reservoir:
+                return 0
+            matching = sum(1 for _s, e, _t in reservoir if e >= since_ms)
+            return int(round(matching * self._scale()))
         if self._monotonic:
             return len(self._ends) - self._first_at_or_after(since_ms)
         return sum(1 for end in self._ends if end >= since_ms)
 
     def mean_latency(self, since_ms: float = 0.0) -> float:
-        """Mean latency of completions at/after ``since_ms``."""
+        """Mean latency of completions at/after ``since_ms``.
+
+        The full-stream mean stays exact in reservoir mode (tracked as
+        a running sum); windowed means are reservoir estimates.
+        """
+        if self._reservoir is not None and since_ms <= 0.0:
+            return self._lat_sum / self._seen if self._seen else 0.0
         return mean(self.latencies(since_ms))
 
     def _sorted_latencies(self, since_ms: float, tag: Optional[str]) -> List[float]:
-        key = (len(self._ends), since_ms, tag)
+        key = (len(self._ends), self._seen, since_ms, tag)
         if key != self._sorted_key:
             self._sorted_view = sorted(self.latencies(since_ms, tag))
             self._sorted_key = key
@@ -208,18 +347,39 @@ class LatencyRecorder:
     def _window_buckets(
         self, window_ms: float, horizon_ms: float, exclude_tag: Optional[str]
     ) -> Dict[int, List[float]]:
-        """Latencies bucketed by completion window, optionally minus a tag."""
+        """Latencies bucketed by completion window, optionally minus a tag.
+
+        One O(n) bucketing pass serves every windowed series over the
+        same (window, horizon, tag) triple: the result is cached in a
+        single slot keyed like the sorted-latency view, so the
+        count+percentile query pairs issued by the availability
+        experiments stop rescanning the full record per query.  Callers
+        treat the returned dict as read-only.
+        """
+        key = (len(self._ends), self._seen, window_ms, horizon_ms, exclude_tag)
+        if key == self._buckets_key:
+            return self._buckets_view
         buckets: Dict[int, List[float]] = {}
-        starts, ends, tags = self._starts, self._ends, self._tags
-        for i in range(len(ends)):
-            end = ends[i]
-            if end >= horizon_ms:
-                if self._monotonic:
-                    break
-                continue
-            if exclude_tag is not None and tags[i] == exclude_tag:
-                continue
-            buckets.setdefault(int(end // window_ms), []).append(end - starts[i])
+        if self._reservoir is not None:
+            for start, end, tag in self._reservoir:
+                if end >= horizon_ms:
+                    continue
+                if exclude_tag is not None and tag == exclude_tag:
+                    continue
+                buckets.setdefault(int(end // window_ms), []).append(end - start)
+        else:
+            starts, ends, tags = self._starts, self._ends, self._tags
+            for i in range(len(ends)):
+                end = ends[i]
+                if end >= horizon_ms:
+                    if self._monotonic:
+                        break
+                    continue
+                if exclude_tag is not None and tags[i] == exclude_tag:
+                    continue
+                buckets.setdefault(int(end // window_ms), []).append(end - starts[i])
+        self._buckets_key = key
+        self._buckets_view = buckets
         return buckets
 
     def _windowed_series(
@@ -256,13 +416,16 @@ class LatencyRecorder:
 
         Empty buckets report 0.0, so outage windows show as explicit
         zeros — with ``exclude_tag="!failed"`` this is the *goodput*
-        series of the availability experiments.
+        series of the availability experiments.  Reservoir mode scales
+        each sampled point by the stream/reservoir ratio so the rates
+        stay unbiased.
         """
+        weight = self._scale() if self._reservoir is not None else 1.0
 
         def rate(values: Optional[List[float]], span_s: float) -> float:
             if not values or span_s <= 0:
                 return 0.0
-            return len(values) / span_s
+            return len(values) * weight / span_s
 
         return self._windowed_series(window_ms, horizon_ms, exclude_tag, rate)
 

@@ -1,0 +1,563 @@
+"""The million-context columnar core: table, pooling, sampling, massive tier.
+
+Covers the PR 8 surface end to end:
+
+* cid interning round-trips and slot recycling in the struct-of-arrays
+  :class:`~repro.core.table.ContextTable`;
+* dict-faithful :class:`~repro.core.table.ContextColumnView` semantics
+  (insertion order is observable in traces);
+* ``grow``/``compact`` under churn: contiguous bulk rows, old->new slot
+  maps, ``_aeon_slot`` re-stamping, parent-link remapping;
+* pooled event records — ``reinit`` reuses containers without aliasing,
+  and ``recycle_event`` refuses records the runtime may still touch;
+* the :class:`~repro.sim.metrics.LatencyRecorder` reservoir: exact
+  aggregates, bounded percentile error vs an exact recorder on seeded
+  streams, deterministic resampling, and cross-mode byte-identity below
+  the threshold (the golden quick figures never leave exact mode);
+* auto-tuned :class:`~repro.sim.kernel.AdaptiveTimers` thresholds;
+* the massive-tier application and its registered scenarios; and
+* result-store compression plus the ``gc --max-bytes`` byte budget.
+"""
+
+import argparse
+import json
+import pickle
+import zlib
+from random import Random
+
+import pytest
+
+from repro.apps.massive import MassiveConfig, build_massive, run_checksum
+from repro.core.events import AccessMode, CallSpec, Event
+from repro.core.table import ContextColumnView, ContextTable
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.runner import Cell, make_testbed, run_game
+from repro.harness.scenarios import SCALES, get_scenario, list_scenarios
+from repro.results import MISS, ResultStore
+from repro.results.__main__ import parse_size
+from repro.sim.kernel import AdaptiveTimers
+from repro.sim.metrics import DEFAULT_SAMPLE_THRESHOLD, LatencyRecorder
+from repro.workloads.generators import ClosedLoopClients
+
+
+# ----------------------------------------------------------------------
+# ContextTable: interning, recycling, grow
+# ----------------------------------------------------------------------
+class _Obj:
+    """Instance stand-in; compact() re-stamps ``_aeon_slot`` on these."""
+
+
+def _views(table):
+    return (
+        ContextColumnView(table, table.instance),
+        ContextColumnView(table, table.owner),
+        ContextColumnView(table, table.lock),
+    )
+
+
+def test_intern_round_trips():
+    table = ContextTable()
+    slots = [table.intern(f"c{i}") for i in range(5)]
+    assert slots == [0, 1, 2, 3, 4]  # dense, allocation order
+    assert [table.intern(f"c{i}") for i in range(5)] == slots  # idempotent
+    assert [table.slot(f"c{i}") for i in range(5)] == slots
+    assert [table.cids[s] for s in slots] == [f"c{i}" for i in range(5)]
+    assert len(table) == 5 and table.capacity == 5
+    with pytest.raises(KeyError):
+        table.slot("unknown")
+
+
+def test_slot_freed_only_when_all_columns_release_it():
+    table = ContextTable()
+    inst, owner, lock = _views(table)
+    for cid in ("a", "b"):
+        inst[cid] = _Obj()
+        owner[cid] = "s1"
+        lock[cid] = object()
+    slot_a = table.slot("a")
+    table.version[slot_a] = 7
+    del inst["a"]
+    del owner["a"]
+    assert "a" in table.index  # lock column still holds state
+    del lock["a"]
+    assert "a" not in table.index and table._free == [slot_a]
+    assert table.capacity == 2  # row kept, marked free
+    # The next intern recycles the freed row with reset scalar columns.
+    assert table.intern("c") == slot_a
+    assert table.version[slot_a] == 0 and table.parent[slot_a] == -1
+    assert table.capacity == 2
+
+
+def test_grow_is_contiguous_and_never_recycles():
+    table = ContextTable()
+    inst, owner, lock = _views(table)
+    inst["a"] = _Obj()
+    owner["b"] = "s1"
+    del inst["a"]  # slot 0 is free now
+    assert table._free
+    start = table.grow(3)
+    assert start == 2  # appended past the free slot, not into it
+    assert table.capacity == 5
+    assert table.cids[start:] == [None, None, None]
+
+
+# ----------------------------------------------------------------------
+# ContextColumnView: dict-faithful semantics
+# ----------------------------------------------------------------------
+def test_view_preserves_dict_insertion_order_semantics():
+    table = ContextTable()
+    owner, = (ContextColumnView(table, table.owner),)
+    mirror = {}
+    for cid, value in [("x", "s1"), ("y", "s2"), ("z", "s3")]:
+        owner[cid] = value
+        mirror[cid] = value
+    owner["x"] = "s9"  # overwrite keeps position
+    mirror["x"] = "s9"
+    del owner["y"]  # delete + re-insert moves to the end
+    del mirror["y"]
+    owner["y"] = "s4"
+    mirror["y"] = "s4"
+    assert list(owner) == list(mirror)
+    assert list(owner.items()) == list(mirror.items())
+    assert len(owner) == len(mirror)
+
+
+def test_view_absent_sentinel_and_errors():
+    table = ContextTable()
+    inst, owner, _lock = _views(table)
+    inst["a"] = _Obj()
+    # "a" is interned, but the *owner* column holds nothing for it.
+    assert "a" not in owner
+    assert owner.get("a", "dflt") == "dflt"
+    with pytest.raises(KeyError):
+        owner["a"]
+    with pytest.raises(KeyError):
+        del owner["a"]
+    with pytest.raises(ValueError):
+        owner["a"] = None  # None is the absent sentinel
+
+
+# ----------------------------------------------------------------------
+# compact() under churn
+# ----------------------------------------------------------------------
+def test_compact_squeezes_remaps_and_restamps():
+    table = ContextTable()
+    inst, owner, lock = _views(table)
+    objs = {}
+    for i in range(8):
+        cid = f"c{i}"
+        objs[cid] = _Obj()
+        inst[cid] = objs[cid]
+        owner[cid] = f"s{i % 3}"
+        lock[cid] = object()
+        table.version[table.slot(cid)] = 10 + i
+    # Parent links: c1..c7 are children of c0.
+    root = table.slot("c0")
+    for i in range(1, 8):
+        table.parent[table.slot(f"c{i}")] = root
+    # Churn: fully release c1 and c4 (slots become free).
+    for cid in ("c1", "c4"):
+        del inst[cid]
+        del owner[cid]
+        del lock[cid]
+    survivors = [f"c{i}" for i in (0, 2, 3, 5, 6, 7)]
+    old_slots = {cid: table.slot(cid) for cid in survivors}
+    order_before = list(inst)
+
+    remap = table.compact()
+
+    assert table.capacity == len(survivors) and not table._free
+    assert table.cids == sorted(survivors)  # sorted-cid total order
+    for cid in survivors:
+        new = table.slot(cid)
+        assert remap[old_slots[cid]] == new
+        assert inst[cid] is objs[cid]
+        assert objs[cid]._aeon_slot == new  # re-stamped
+        assert table.version[new] == 10 + int(cid[1:])  # moved with the row
+        if cid != "c0":
+            assert table.parent[new] == table.slot("c0")  # remapped link
+    # Views keep their own insertion order across compaction.
+    assert list(inst) == order_before
+
+
+def test_compact_drops_parent_links_to_freed_rows():
+    table = ContextTable()
+    inst, owner, lock = _views(table)
+    for cid in ("parent", "child"):
+        inst[cid] = _Obj()
+        owner[cid] = "s1"
+        lock[cid] = object()
+    table.parent[table.slot("child")] = table.slot("parent")
+    for view in (inst, owner, lock):
+        del view["parent"]
+    table.compact()
+    assert table.parent[table.slot("child")] == -1
+
+
+# ----------------------------------------------------------------------
+# Pooled event records
+# ----------------------------------------------------------------------
+def test_reinit_reuses_containers_without_aliasing():
+    event = Event(7, CallSpec("x", "m", (1,)), AccessMode.EX, "cli-1", 5.0, tag="t")
+    event.reads["x"] = 3
+    event.writes["x"] = 4
+    event.sub_events.append(CallSpec("y", "n"))
+    event.hops = 9
+    event.result = "r"
+    event.error = ValueError("boom")
+    event.dom = "x"
+    event.held = None  # finished
+    event.release_horizon = 12.5
+    reads, writes, subs = event.reads, event.writes, event.sub_events
+
+    spec2 = CallSpec("y", "n", (2,))
+    event.reinit(8, spec2, AccessMode.RO, "cli-2", 6.0)
+
+    # Containers are the same objects, cleared in place — their insertion
+    # order restarts, so a recycled record commits byte-identically.
+    assert event.reads is reads and not reads
+    assert event.writes is writes and not writes
+    assert event.sub_events is subs and not subs
+    assert event.eid == 8 and event.spec is spec2
+    assert event.mode is AccessMode.RO and event.client == "cli-2"
+    assert event.submitted_ms == 6.0 and event.tag == ""
+    assert event.result is None and event.error is None and event.dom is None
+    assert event.started_ms is None and event.committed_ms is None
+    assert event.held == set() and event.hops == 0
+    assert event.open_branches == 1 and event.deferred_locks == []
+    assert event.release_horizon == -1.0
+
+
+def test_recycle_event_gates():
+    runtime = make_testbed("aeon", 1, seed=0).runtime
+    assert runtime.sim.now == 0.0
+
+    def _finished(eid, horizon):
+        event = Event(eid, CallSpec("x", "m"), AccessMode.EX, "c", 0.0)
+        event.held = None
+        event.release_horizon = horizon
+        return event
+
+    runtime.recycle_event(None)  # tolerated no-op
+    assert runtime._event_pool == []
+
+    in_flight = Event(1, CallSpec("x", "m"), AccessMode.EX, "c", 0.0)
+    runtime.recycle_event(in_flight)  # held is a live set -> refused
+    assert runtime._event_pool == []
+
+    pending_release = _finished(2, 0.0)  # horizon not strictly past
+    runtime.recycle_event(pending_release)
+    assert runtime._event_pool == []
+
+    done = _finished(3, -1.0)
+    runtime.recycle_event(done)
+    assert runtime._event_pool == [done]
+
+
+# ----------------------------------------------------------------------
+# LatencyRecorder: reservoir mode
+# ----------------------------------------------------------------------
+def _stream(n, seed=0):
+    rng = Random(seed)
+    out = []
+    for i in range(n):
+        start = i * 0.01
+        out.append((start, start + rng.expovariate(1.0 / 5.0), "op"))
+    return out
+
+
+def _feed(recorder, stream):
+    for start, end, tag in stream:
+        recorder.record(start, end, tag)
+    return recorder
+
+
+def test_recorder_stays_exact_below_threshold():
+    recorder = _feed(LatencyRecorder(sample_threshold=1000), _stream(999))
+    assert recorder.sampling is False
+    assert len(recorder) == 999
+    assert len(recorder.latencies()) == 999  # every sample kept
+
+
+def test_cross_mode_byte_identity_below_threshold():
+    # The default threshold must not perturb sub-threshold metrics: a
+    # recorder that can never sample answers byte-identically, which is
+    # why the golden quick figures are safe at the default.
+    stream = _stream(5000)
+    default = _feed(LatencyRecorder(), stream)
+    unbounded = _feed(LatencyRecorder(sample_threshold=2**62), stream)
+    assert default.sampling is False
+
+    def fingerprint(rec):
+        return json.dumps(
+            {
+                "count": rec.count(),
+                "mean": rec.mean_latency(),
+                "p50": rec.percentile_latency(50.0),
+                "p90": rec.percentile_latency(90.0),
+                "p99": rec.percentile_latency(99.0),
+                "window": rec.latencies_between(10.0, 40.0),
+            },
+            sort_keys=True,
+        )
+
+    assert fingerprint(default) == fingerprint(unbounded)
+
+
+def test_reservoir_keeps_exact_aggregates():
+    stream = _stream(30_000)
+    sampled = _feed(LatencyRecorder(sample_threshold=2000, reservoir_size=512), stream)
+    assert sampled.sampling is True
+    assert len(sampled) == 30_000  # total count stays exact
+    assert sampled.count() == 30_000
+    exact_mean = sum(e - s for s, e, _t in stream) / len(stream)
+    assert sampled.mean_latency() == pytest.approx(exact_mean, rel=1e-12)
+    # The reservoir itself is bounded.
+    assert len(sampled.samples) == 512
+
+
+def test_reservoir_percentiles_within_error_bounds():
+    stream = _stream(60_000, seed=3)
+    exact = _feed(LatencyRecorder(sample_threshold=2**62), stream)
+    sampled = _feed(
+        LatencyRecorder(sample_threshold=1000, reservoir_size=8192), stream
+    )
+    assert not exact.sampling and sampled.sampling
+    for pct in (50.0, 90.0, 99.0):
+        truth = exact.percentile_latency(pct)
+        estimate = sampled.percentile_latency(pct)
+        assert estimate == pytest.approx(truth, rel=0.10), pct
+
+
+def test_reservoir_is_deterministic():
+    stream = _stream(20_000, seed=5)
+    a = _feed(LatencyRecorder(sample_threshold=500, reservoir_size=256), stream)
+    b = _feed(LatencyRecorder(sample_threshold=500, reservoir_size=256), stream)
+    assert a.samples == b.samples
+    assert a.percentile_latency(99.0) == b.percentile_latency(99.0)
+
+
+def test_quick_figure_runs_never_leave_exact_mode():
+    # A representative quick-tier cell: completion counts sit orders of
+    # magnitude under the switchover, so golden figures stay exact.
+    result, testbed, _app = run_game(
+        "aeon", 2, n_clients=24, duration_ms=400.0, warmup_ms=100.0, seed=0
+    )
+    recorder = testbed.runtime.latency
+    assert recorder.sampling is False
+    assert 0 < len(recorder) < DEFAULT_SAMPLE_THRESHOLD
+    assert result.completed > 0
+
+
+# ----------------------------------------------------------------------
+# AdaptiveTimers: auto-tuned thresholds
+# ----------------------------------------------------------------------
+def _entry(t, seq):
+    return (t, seq, None, ())
+
+
+def test_band_seeds_at_measured_crossover():
+    assert AdaptiveTimers().band == (AdaptiveTimers.UP, AdaptiveTimers.DOWN) == (64, 24)
+
+
+def test_band_recenters_at_upshift():
+    ada = AdaptiveTimers()
+    for i in range(65):
+        ada.push(_entry(1.0 + 0.01 * i, i))
+    assert ada.mode == "calendar"  # crossed UP -> migrated
+    up, down = ada.band
+    assert (up, down) == (130, 32)  # first observation: mean = 65
+    assert up >= 4 * down  # hysteresis spans at least 4x
+
+
+def test_band_recenters_at_downshift():
+    ada = AdaptiveTimers()
+    for i in range(65):
+        ada.push(_entry(1.0 + 0.01 * i, i))
+    band_after_up = ada.band
+    while ada.mode == "calendar":
+        ada.pop()
+    up, down = ada.band
+    assert ada.band != band_after_up  # downshift folded in a new sample
+    assert AdaptiveTimers.UP <= up <= AdaptiveTimers.UP_MAX
+    assert AdaptiveTimers.DOWN_MIN <= down <= up >> 2
+
+
+def test_band_clamps_to_hard_limits():
+    huge = AdaptiveTimers()
+    huge._observe(10**6)
+    assert huge.band == (AdaptiveTimers.UP_MAX, AdaptiveTimers.UP_MAX >> 2)
+    tiny = AdaptiveTimers()
+    tiny._observe(1)
+    assert tiny.band == (AdaptiveTimers.UP, AdaptiveTimers.DOWN_MIN)
+
+
+def test_adaptation_preserves_handoff_exactness():
+    # Pops must drain in (fire_at, seq) order across auto-tuned
+    # migrations exactly as a plain heap would.
+    ada = AdaptiveTimers()
+    rng = Random(11)
+    entries = [_entry(rng.random() * 50.0, i) for i in range(300)]
+    for entry in entries:
+        ada.push(entry)
+    drained = []
+    while len(ada):
+        drained.append(ada.pop())
+    assert drained == sorted(entries)
+
+
+# ----------------------------------------------------------------------
+# Massive tier: bulk registration, lazy materialization, determinism
+# ----------------------------------------------------------------------
+def test_massive_config_validation():
+    with pytest.raises(ValueError):
+        MassiveConfig(contexts=0).validate()
+    with pytest.raises(ValueError):
+        MassiveConfig(flavor="nope").validate()
+    with pytest.raises(ValueError):
+        MassiveConfig(p_read=1.5).validate()
+
+
+def _mini_massive(flavor="game", seed=7, contexts=500):
+    testbed = make_testbed("aeon", 4, seed=seed)
+    app = build_massive(
+        testbed.runtime, MassiveConfig(contexts=contexts, flavor=flavor),
+        testbed.servers,
+    )
+    clients = ClosedLoopClients(
+        testbed.runtime, app.sample_op, n_clients=16, think_ms=2.0,
+        rng=testbed.rng, stop_at_ms=300.0,
+    )
+    clients.start()
+    testbed.sim.run(until=800.0)
+    return testbed, app
+
+
+def test_bulk_registration_is_lazy():
+    testbed = make_testbed("aeon", 4, seed=0)
+    app = build_massive(
+        testbed.runtime, MassiveConfig(contexts=200), testbed.servers
+    )
+    runtime = testbed.runtime
+    # 200 leaves + 1 region + 4 shards registered; only the eager 5
+    # exist as Python objects.
+    assert runtime.context_count() == 205
+    assert len(runtime.instances) == 5
+    assert len(app.shards) == 4
+    # First touch materializes exactly the touched leaf.
+    player = runtime.instance_of("p-7")
+    assert player.score == 0 and player.taps == 0
+    assert runtime.instance_of("p-7") is player
+    assert len(runtime.instances) == 6
+    assert runtime.context_count() == 205  # materialization adds nothing
+    # Bulk rows share the interned placement columns.
+    assert runtime.placement["p-7"] in {s.name for s in testbed.servers}
+
+
+def test_bulk_rejects_duplicate_cids():
+    testbed = make_testbed("aeon", 2, seed=0)
+    build_massive(testbed.runtime, MassiveConfig(contexts=50), testbed.servers)
+    with pytest.raises(ValueError):
+        testbed.runtime.create_contexts_bulk(
+            type(testbed.runtime.instance_of("p-0")), ["p-0"], testbed.servers
+        )
+
+
+def test_sample_op_mix_and_determinism():
+    testbed = make_testbed("aeon", 2, seed=0)
+    app = build_massive(
+        testbed.runtime, MassiveConfig(contexts=100, p_read=0.0), testbed.servers
+    )
+    def draw():
+        rng = Random(3)
+        return [
+            (spec.target, spec.method, spec.args, tag)
+            for spec, tag in (app.sample_op(rng) for _ in range(5))
+        ]
+
+    ops = draw()
+    assert ops == draw()  # seeded -> same
+    assert all(tag == "tap" for *_call, tag in ops)  # p_read=0 -> writes only
+    app.config.p_read = 1.0
+    spec, tag = app.sample_op(Random(3))
+    assert tag == "peek" and spec.method == "peek" and spec.args == ()
+
+
+def test_mini_massive_run_is_deterministic():
+    testbed_a, app_a = _mini_massive(seed=7)
+    checksum_a = run_checksum(testbed_a.runtime, app_a)
+    testbed_b, app_b = _mini_massive(seed=7)
+    assert run_checksum(testbed_b.runtime, app_b) == checksum_a
+    # The run did real work but only materialized what it touched.
+    runtime = testbed_a.runtime
+    assert runtime.events_completed > 0 and runtime.events_failed == 0
+    assert 5 < len(runtime.instances) <= 505
+    assert runtime.context_count() == 505
+    # Clients recycled finished records into the bounded event pool.
+    assert 0 < len(runtime._event_pool) <= 2048
+    # A different seed produces different observable state.
+    testbed_c, app_c = _mini_massive(seed=8)
+    assert run_checksum(testbed_c.runtime, app_c) != checksum_a
+
+
+def test_mini_massive_tpcc_flavor():
+    testbed, app = _mini_massive(flavor="tpcc", seed=7)
+    checksum = run_checksum(testbed.runtime, app)
+    terminal_cids = [c for c in testbed.runtime.instances if c.startswith("t-")]
+    assert terminal_cids  # some terminals materialized
+    testbed_b, app_b = _mini_massive(flavor="tpcc", seed=7)
+    assert run_checksum(testbed_b.runtime, app_b) == checksum
+
+
+def test_massive_scenarios_registered():
+    for name in ("massive_game", "massive_tpcc"):
+        assert name in list_scenarios()
+        assert name not in ALL_EXPERIMENTS  # they are --scenario only
+        assert get_scenario(name).output == "massive"
+    assert SCALES["massive"].massive_contexts >= 1_000_000
+    # The quick smoke tier stays CI-sized.
+    assert SCALES["quick"].massive_contexts <= 100_000
+
+
+# ----------------------------------------------------------------------
+# Result store: compression and the gc byte budget
+# ----------------------------------------------------------------------
+def _cell(i):
+    return Cell((i,), "m:f", {"i": i})
+
+
+def test_store_compresses_on_disk(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    value = {"series": [float(i % 17) for i in range(5000)]}
+    store.put(_cell(0), value, wall_ms=1.0)
+    assert store.load(_cell(0)) == value
+    entry = store.entries()[0]
+    assert entry["raw_bytes"] > entry["bytes"]  # repetitive data shrinks
+    blob = (store.root / "objects" / f"{entry['key']}.pkl").read_bytes()
+    assert pickle.loads(zlib.decompress(blob)) == value
+
+
+def test_gc_max_bytes_evicts_oldest_first(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    for i in range(5):
+        store.put(_cell(i), list(range(i * 1000, i * 1000 + 1000)))
+    entries = store.entries()  # oldest first
+    assert [e["cell"] for e in entries] == [str((i,)) for i in range(5)]
+    budget = sum(e["bytes"] for e in entries[-2:])
+    assert store.gc(max_bytes=budget) == 3
+    assert store.load(_cell(0)) is MISS and store.load(_cell(2)) is MISS
+    assert store.load(_cell(3)) == list(range(3000, 4000))
+    assert store.load(_cell(4)) == list(range(4000, 5000))
+    assert store.gc(max_bytes=budget) == 0  # already within budget
+
+
+def test_parse_size():
+    assert parse_size("123") == 123
+    assert parse_size("512K") == 512 * 1024
+    assert parse_size("256M") == 256 * 1024**2
+    assert parse_size("2G") == 2 * 1024**3
+    assert parse_size("1kb") == 1024  # trailing 'b' tolerated
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_size("lots")
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_size("-5")
