@@ -1,0 +1,252 @@
+"""Executor-backend microbenchmarks: ``python -m repro.exec.bench``.
+
+Three benchmarks bracket the dispatch tier (the backends themselves,
+not the simulation kernel — ``python -m repro.sim.bench`` covers that):
+
+* ``dispatch_overhead`` — a batch of no-op cells through each backend,
+  isolating per-cell submit/collect cost: serial is the floor, pool
+  adds pickle + IPC, queue adds spool files + store round-trips;
+* ``fig5a_quick``       — the real fig5a quick cell set end to end on
+  serial vs pool(2) vs queue(2 spawned workers), the honest
+  wall-clock a user sees when picking ``--executor``;
+* ``straggler_speculation`` — a cell whose *first* attempt stalls
+  (slow node) amid fast cells, drained by queue(2) with speculative
+  re-dispatch off vs on; the speedup is first-result-wins recovering
+  the run from the straggler.
+
+Results merge into a JSON file (default ``BENCH_executor.json``) under
+a ``--label`` key, so snapshots live side by side::
+
+    python -m repro.exec.bench --label pr10
+
+Cell bodies used by the benchmarks live in this module (resolved by
+dotted path inside worker processes).  They are orchestration-layer
+workloads — wall-clock sleeps and marker files are fine here; no
+simulation data is produced, so the determinism contract is untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from .base import Cell, Executor, ProcessExecutor, SerialExecutor
+
+__all__ = ["run_benchmarks", "main"]
+
+
+# ----------------------------------------------------------------------
+# Cell bodies (importable from worker subprocesses)
+# ----------------------------------------------------------------------
+def noop_cell(x: int, sleep_s: float = 0.0) -> int:
+    """Return ``x`` after an optional wall-clock sleep."""
+    if sleep_s:
+        time.sleep(sleep_s)
+    return x
+
+
+def straggler_cell(x: int, slow_s: float, marker: str) -> int:
+    """A straggling first attempt: create ``marker``, stall ``slow_s``.
+
+    Any later attempt (a speculative re-dispatch) finds the marker and
+    returns immediately — modelling a slow node whose re-dispatched
+    copy lands on a healthy one.
+    """
+    path = Path(marker)
+    if path.exists():
+        return x
+    path.touch()
+    time.sleep(slow_s)
+    return x
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+# Literal paths, not __name__-derived: under ``python -m`` this module
+# runs as __main__, which worker processes cannot resolve.
+_BODY = "repro.exec.bench:noop_cell"
+_STRAGGLER = "repro.exec.bench:straggler_cell"
+
+
+def _drain(executor: Executor, cells: List[Cell]) -> List[Any]:
+    """Submit every cell, collect results in submission order."""
+    handles = [executor.submit(cell) for cell in cells]
+    return [handle.result() for handle in handles]
+
+
+def _make_queue(tmp: str, **options: Any):
+    from .queue import QueueExecutor  # local import: optional backend
+
+    return QueueExecutor(queue_dir=Path(tmp) / "spool", **options)
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+def _bench_dispatch_overhead() -> Dict[str, Any]:
+    """32 no-op cells per backend; per-cell dispatch overhead in ms.
+
+    One warm-up cell runs before the clock starts, so pool spawn and
+    spool setup cost is reported separately (``setup_s``) from the
+    steady-state per-cell figure.
+    """
+    n = 32
+    out: Dict[str, Any] = {"cells": n}
+    cells = [Cell(key=(i,), fn=_BODY, kwargs={"x": i}) for i in range(n)]
+    warmup = Cell(key=("warmup",), fn=_BODY, kwargs={"x": -1})
+
+    def _measure(build: Callable[[], Executor]) -> Dict[str, float]:
+        setup_start = time.perf_counter()
+        executor = build()
+        try:
+            _drain(executor, [warmup])
+            setup_s = time.perf_counter() - setup_start
+            start = time.perf_counter()
+            _drain(executor, cells)
+            wall = time.perf_counter() - start
+        finally:
+            executor.shutdown()
+        return {
+            "setup_s": round(setup_s, 4),
+            "per_cell_ms": round(wall * 1000.0 / n, 3),
+        }
+
+    out["serial"] = _measure(SerialExecutor)
+    out["pool"] = _measure(lambda: ProcessExecutor(jobs=2))
+    tmp = tempfile.mkdtemp(prefix="repro-bench-q-")
+    try:
+        out["queue"] = _measure(
+            lambda: _make_queue(tmp, spawn_workers=2, poll_interval_s=0.05)
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
+def _bench_fig5a_quick() -> Dict[str, Any]:
+    """The fig5a quick cell set on each backend, end to end."""
+    from ..harness.scenarios import expand, prepare_scenario
+
+    cells = expand(prepare_scenario("fig5a", scale="quick", seed=0))
+    out: Dict[str, Any] = {"cells": len(cells)}
+
+    start = time.perf_counter()
+    serial = _drain(SerialExecutor(), cells)
+    out["serial_s"] = round(time.perf_counter() - start, 3)
+
+    with ProcessExecutor(jobs=2) as pool:
+        start = time.perf_counter()
+        pooled = _drain(pool, cells)
+        out["pool2_s"] = round(time.perf_counter() - start, 3)
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-q-")
+    try:
+        with _make_queue(tmp, spawn_workers=2) as queue:
+            start = time.perf_counter()
+            queued = _drain(queue, cells)
+            out["queue2_s"] = round(time.perf_counter() - start, 3)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    # Not a test, but cheap insurance that the bench exercised the real
+    # byte-identity property rather than three divergent runs.
+    out["identical"] = serial == pooled == queued
+    return out
+
+
+def _bench_straggler_speculation() -> Dict[str, Any]:
+    """Queue(2) draining 6 fast cells + 1 straggler, speculation off/on.
+
+    The straggler's first attempt stalls ``slow_s`` wall-clock seconds;
+    with speculation on, the fast cells' completed durations feed the
+    p90 deadline, the stalled claim is re-published past it, and the
+    fresh attempt returns immediately (first result wins).
+    """
+    slow_s = 6.0
+    fast = [
+        Cell(key=(i,), fn=_BODY, kwargs={"x": i, "sleep_s": 0.05})
+        for i in range(6)
+    ]
+    policies = {
+        "off": {"straggler_min_s": 3600.0},
+        "on": {
+            "straggler_min_s": 1.0,
+            "straggler_factor": 2.0,
+            "straggler_min_samples": 3,
+        },
+    }
+    out: Dict[str, Any] = {"slow_s": slow_s, "cells": len(fast) + 1}
+    for mode, policy in policies.items():
+        tmp = tempfile.mkdtemp(prefix="repro-bench-q-")
+        try:
+            straggler = Cell(
+                key=("straggler",),
+                fn=_STRAGGLER,
+                kwargs={
+                    "x": 99,
+                    "slow_s": slow_s,
+                    "marker": str(Path(tmp) / "first-attempt"),
+                },
+            )
+            with _make_queue(
+                tmp, spawn_workers=2, poll_interval_s=0.05, **policy
+            ) as queue:
+                start = time.perf_counter()
+                _drain(queue, fast + [straggler])
+                out[f"{mode}_s"] = round(time.perf_counter() - start, 3)
+                out[f"{mode}_speculations"] = queue.stats()["speculations"]
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    out["speedup"] = round(out["off_s"] / out["on_s"], 2) if out["on_s"] else 0.0
+    return out
+
+
+BENCHMARKS: Dict[str, Callable[[], Dict[str, Any]]] = {
+    "dispatch_overhead": _bench_dispatch_overhead,
+    "fig5a_quick": _bench_fig5a_quick,
+    "straggler_speculation": _bench_straggler_speculation,
+}
+
+
+def run_benchmarks(names: Optional[List[str]] = None) -> Dict[str, Dict[str, Any]]:
+    """Run the selected benchmarks; returns name -> stats dict."""
+    results: Dict[str, Dict[str, Any]] = {}
+    for name in names or sorted(BENCHMARKS):
+        results[name] = BENCHMARKS[name]()
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run benchmarks and merge results into a JSON file."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="current",
+                        help="key to store this snapshot under (e.g. pr10)")
+    parser.add_argument("--out", default="BENCH_executor.json",
+                        help="result file (merged, not overwritten)")
+    parser.add_argument("--bench", action="append", choices=sorted(BENCHMARKS),
+                        help="run only this benchmark (repeatable)")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.bench)
+    for name, stats in results.items():
+        print(f"{name}: {json.dumps(stats, sort_keys=True)}")
+
+    out = Path(args.out)
+    doc = json.loads(out.read_text()) if out.exists() else {}
+    doc.setdefault("python", platform.python_version())
+    snapshot = doc.setdefault(args.label, {})
+    snapshot.update(results)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} [{args.label}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

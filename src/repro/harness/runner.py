@@ -17,11 +17,7 @@ and named RNG streams; nothing reads wall-clock state).
 
 from __future__ import annotations
 
-import importlib
 import logging
-import os
-import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
@@ -30,6 +26,23 @@ from ..baselines import EventWaveRuntime, OrleansRuntime
 from ..core.costs import CostModel, DEFAULT_COSTS
 from ..core.protocol import AeonRuntime
 from ..core.runtime import RuntimeBase
+
+# The cell primitives and executor backends live in ``repro.exec``
+# (docs/ARCHITECTURE.md § Executors); re-exported here because the
+# harness is their historical home and every figure module imports
+# them from this path.
+from ..exec.base import (  # noqa: F401  (re-exports)
+    Cell,
+    CellResult,
+    Executor,
+    ExecutorError,
+    WorkerLostError,
+    execute_cell,
+    execute_cell_timed,
+    make_executor,
+    resolve_executor,
+    resolve_jobs,
+)
 from ..results.store import MISS, ResultStore
 from ..sim.cluster import Cluster, InstanceType, M3_LARGE, Server
 from ..sim.kernel import Simulator
@@ -49,6 +62,7 @@ __all__ = [
     "execute_cell",
     "execute_cell_timed",
     "resolve_jobs",
+    "resolve_executor",
     "run_cells",
     "CellPool",
 ]
@@ -178,147 +192,53 @@ def run_game(
 
 
 # ----------------------------------------------------------------------
-# Parallel experiment engine
+# Parallel experiment engine (executor wiring; primitives: repro.exec)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class Cell:
-    """One independent unit of an experiment grid.
-
-    A cell is everything a worker process needs to run one
-    self-contained simulation:
-
-    * ``key`` — the cell's position in the figure assembly (e.g.
-      ``("aeon", 8)`` for a scale-out curve point).  Only used by the
-      enumerating figure function; opaque to the engine.
-    * ``fn`` — the cell body as a ``"module:function"`` dotted path,
-      resolved by :func:`execute_cell` *inside the worker*, so payloads
-      stay picklable under both fork and spawn start methods.
-    * ``kwargs`` — keyword arguments for ``fn``; must be picklable
-      data (strings/numbers, or frozen spec dataclasses like
-      :class:`~repro.harness.scenarios.ScenarioSpec`), typically
-      ``system``/``scale``/``seed`` knobs plus the owning spec.
-
-    The body must be deterministic given its kwargs (fresh
-    :class:`~repro.sim.kernel.Simulator`, seeded
-    :class:`~repro.sim.rng.RngRegistry`, no wall-clock reads) and return
-    plain picklable data — that is what makes ``--jobs N`` byte-identical
-    to the serial path.  See docs/ARCHITECTURE.md § Parallel experiment
-    engine.
-    """
-
-    key: Tuple
-    fn: str
-    kwargs: Dict[str, Any]
-
-
-@dataclass(frozen=True)
-class CellResult:
-    """The value one :class:`Cell` produced, tagged with its key."""
-
-    key: Tuple
-    value: Any
-
-
-def execute_cell(cell: Cell) -> CellResult:
-    """Run one cell (in this process) and wrap its return value.
-
-    Resolves ``cell.fn``'s dotted ``"module:function"`` path via import,
-    so it works identically in the parent process (serial path) and in
-    pool workers (parallel path).
-    """
-    module_name, _, fn_name = cell.fn.partition(":")
-    fn = getattr(importlib.import_module(module_name), fn_name)
-    return CellResult(key=cell.key, value=fn(**cell.kwargs))
-
-
-def execute_cell_timed(cell: Cell) -> Tuple[CellResult, float]:
-    """:func:`execute_cell` plus the cell's wall-clock milliseconds.
-
-    The timing is store metadata only (it rides into the result-store
-    manifest) — it never feeds back into a simulation, so determinism
-    is untouched.  This is the worker payload whenever a
-    :class:`~repro.results.ResultStore` is attached.
-    """
-    start = time.perf_counter()
-    result = execute_cell(cell)
-    return result, (time.perf_counter() - start) * 1000.0
-
-
-def resolve_jobs(jobs: int) -> int:
-    """Normalize a ``--jobs`` value: ``0`` means one per CPU core."""
-    if jobs < 0:
-        raise ValueError(f"jobs must be >= 0, got {jobs}")
-    if jobs == 0:
-        return os.cpu_count() or 1
-    return jobs
-
-
 def run_cells(
     cells: Sequence[Cell],
     jobs: int = 1,
     pool: Optional["CellPool"] = None,
     store: Optional[ResultStore] = None,
+    executor: Any = None,
+    queue_dir: Any = None,
 ) -> List[CellResult]:
     """Execute ``cells`` and return their results *in cell order*.
 
     ``jobs=1`` runs serially in-process (no pool, no pickling — the
-    historical path).  ``jobs>1`` fans the cells out to a
-    :class:`~concurrent.futures.ProcessPoolExecutor` with ``jobs``
-    workers (``jobs=0`` = one per core); each worker runs whole cells,
-    and results are reassembled in submission order, so figure data is
-    byte-identical to the serial path regardless of completion order.
-    Passing a :class:`CellPool` instead shares one long-lived pool (and
-    its duplicate-cell cache) across many ``run_cells`` calls — the
-    ``--all`` streaming path; a pool carries its own result store, so
-    ``store`` is only honored when ``pool`` is ``None``.
+    historical path); ``jobs>1``/``0`` fans the cells out to a local
+    worker-process pool.  ``executor`` picks the backend explicitly —
+    ``"serial"``, ``"pool"`` (retry-on-worker-death, see
+    :class:`~repro.exec.ProcessExecutor`), ``"queue"`` (the spool-dir
+    work queue under ``queue_dir`` that external ``python -m
+    repro.exec.worker`` processes drain), or any
+    :class:`~repro.exec.Executor` instance; default: ``REPRO_EXECUTOR``
+    or jobs-based.  Whatever the backend, results are reassembled in
+    submission order, so figure data is byte-identical to the serial
+    path regardless of completion order.  Passing a :class:`CellPool`
+    shares one long-lived backend (and its duplicate-cell cache) across
+    many ``run_cells`` calls — the ``--all`` streaming path; a pool
+    carries its own store and backend, so the other knobs are only
+    honored when ``pool`` is ``None``.
 
     ``store`` attaches a :class:`~repro.results.ResultStore`: cells with
     a persisted result are not dispatched at all (hit → deserialize),
     and every miss is persisted the moment it completes — a killed run
     resumes where it died, and cached data is byte-identical to fresh
-    data at any ``jobs`` level (results are reassembled in cell order
-    either way).  See docs/EXPERIMENTS.md for per-figure ``--jobs``
-    guidance and docs/ARCHITECTURE.md § Result store.
+    data at any ``jobs`` level.  See docs/EXPERIMENTS.md for per-figure
+    ``--jobs`` guidance and docs/ARCHITECTURE.md § Result store /
+    § Executors.
     """
     if pool is not None:
         return pool.gather(pool.submit(cells))
-    if store is not None:
-        with CellPool(jobs, store=store) as pool_:
-            return pool_.gather(pool_.submit(cells))
-    jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(cells) <= 1:
+    if (
+        store is None
+        and executor is None
+        and queue_dir is None
+        and resolve_jobs(jobs) == 1
+    ):
         return [execute_cell(cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool_:
-        return list(pool_.map(execute_cell, cells, chunksize=1))
-
-
-class _LazyCell:
-    """Serial-mode pool handle: runs its cell on first ``result()`` call.
-
-    With a store attached, the freshly computed value is persisted
-    immediately after execution — mid-``gather`` kills lose only the
-    in-flight cell.
-    """
-
-    __slots__ = ("_cell", "_result", "_store")
-
-    def __init__(self, cell: Cell, store: Optional[ResultStore] = None) -> None:
-        self._cell = cell
-        self._result: Optional[CellResult] = None
-        self._store = store
-
-    def result(self) -> CellResult:
-        if self._result is None:
-            start = time.perf_counter()
-            self._result = execute_cell(self._cell)
-            if self._store is not None:
-                _persist_quietly(
-                    self._store,
-                    self._cell,
-                    self._result.value,
-                    (time.perf_counter() - start) * 1000.0,
-                )
-        return self._result
+    with CellPool(jobs, store=store, executor=executor, queue_dir=queue_dir) as pool_:
+        return pool_.gather(pool_.submit(cells))
 
 
 class _CachedCell:
@@ -329,39 +249,15 @@ class _CachedCell:
     def __init__(self, result: CellResult) -> None:
         self._result = result
 
+    def done(self) -> bool:
+        return True
+
     def result(self) -> CellResult:
         return self._result
 
 
-class _FutureHandle:
-    """Pool handle over an :func:`execute_cell_timed` worker future."""
-
-    __slots__ = ("future",)
-
-    def __init__(self, future: Any) -> None:
-        self.future = future
-
-    def result(self) -> CellResult:
-        return self.future.result()[0]
-
-
-def _persist_quietly(
-    store: ResultStore, cell: Cell, value: Any, wall_ms: float
-) -> None:
-    """Persist one completed cell; storage trouble never fails the sweep."""
-    try:
-        store.put(cell, value, wall_ms=wall_ms)
-    except Exception as error:
-        _log.warning(
-            "result store: failed to persist cell %r (%s: %s); continuing",
-            cell.key,
-            type(error).__name__,
-            error,
-        )
-
-
 class CellPool:
-    """One worker pool shared by every scenario of an ``--all`` run.
+    """One executor backend shared by every scenario of an ``--all`` run.
 
     Historically each figure ran its cells through its own
     ``run_cells`` batch, so worker processes idled at every figure
@@ -377,27 +273,41 @@ class CellPool:
     is re-keyed for every requester; cell bodies are deterministic
     functions of their kwargs, so this is invisible in the data.
 
-    ``jobs=1`` degrades to lazy in-process execution at gather time
-    (the exact historical serial order); ``jobs>1``/``0`` uses a
-    :class:`~concurrent.futures.ProcessPoolExecutor`.  Use as a context
-    manager or call :meth:`close`.
+    Where cells run is an :class:`~repro.exec.Executor` strategy
+    (docs/ARCHITECTURE.md § Executors): ``executor`` is a backend name
+    (``"serial"`` / ``"pool"`` / ``"queue"``), an executor instance, or
+    ``None`` — resolve via ``REPRO_EXECUTOR``, else ``jobs=1`` →
+    serial lazy execution (the exact historical serial order) and
+    ``jobs>1``/``0`` → the retrying local process pool.  ``queue_dir``
+    and ``executor_options`` configure the queue backend.  Use as a
+    context manager or call :meth:`close`.
 
     ``store`` attaches a :class:`~repro.results.ResultStore`: before a
     novel cell is dispatched the store is consulted (hit → the persisted
     value comes back as a ready handle, no worker touched), and every
-    executed cell is persisted *as it completes* — serially right after
-    execution, in parallel via a done-callback on the worker future — so
-    a killed ``--all`` resumes where it died.  Dedup runs before the
-    store consult, so the pool's hit/miss counters count *distinct*
-    cells: a fully warm ``--all`` reports 100% hits even though fig7 and
-    table1 request the same elastic setups twice.
+    executed cell is persisted *as it completes* — so a killed ``--all``
+    resumes where it died.  Dedup runs before the store consult, so the
+    pool's hit/miss counters count *distinct* cells: a fully warm
+    ``--all`` reports 100% hits even though fig7 and table1 request the
+    same elastic setups twice.
     """
 
-    def __init__(self, jobs: int = 1, store: Optional[ResultStore] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        executor: Any = None,
+        queue_dir: Any = None,
+        executor_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.store = store
-        self._executor = (
-            ProcessPoolExecutor(max_workers=self.jobs) if self.jobs > 1 else None
+        self.executor = make_executor(
+            executor,
+            jobs=self.jobs,
+            store=store,
+            queue_dir=queue_dir,
+            options=executor_options,
         )
         self._cache: Dict[tuple, Any] = {}
 
@@ -406,26 +316,13 @@ class CellPool:
         return (cell.fn, tuple(sorted((k, repr(v)) for k, v in cell.kwargs.items())))
 
     def _dispatch(self, cell: Cell) -> Any:
-        """Produce a handle for one novel cell: store hit, lazy, or future."""
+        """Produce a handle for one novel cell: store hit or backend submit."""
         store = self.store
         if store is not None:
             value = store.load(cell)
             if value is not MISS:
                 return _CachedCell(CellResult(key=cell.key, value=value))
-        if self._executor is None:
-            return _LazyCell(cell, store)
-        if store is None:
-            return self._executor.submit(execute_cell, cell)
-        future = self._executor.submit(execute_cell_timed, cell)
-
-        def _on_done(f: Any, cell: Cell = cell) -> None:
-            if f.cancelled() or f.exception() is not None:
-                return
-            result, wall_ms = f.result()
-            _persist_quietly(store, cell, result.value, wall_ms)
-
-        future.add_done_callback(_on_done)
-        return _FutureHandle(future)
+        return self.executor.submit(cell)
 
     def submit(self, cells: Sequence[Cell]) -> List[Tuple[Cell, Any]]:
         """Enqueue ``cells``; returns ``(cell, handle)`` pairs for :meth:`gather`."""
@@ -448,15 +345,13 @@ class CellPool:
         ]
 
     def close(self) -> None:
-        """Shut the worker pool down.
+        """Shut the backend down.
 
         Joins cells already running but cancels the still-queued ones —
         when one cell of an ``--all`` run fails, the error should not
         wait behind minutes of queued elastic simulations.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        self.executor.shutdown(wait=True)
 
     def __enter__(self) -> "CellPool":
         return self

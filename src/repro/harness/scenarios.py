@@ -2164,6 +2164,8 @@ def run_scenario(
     pool: Any = None,
     cache: Optional[str] = "off",
     cache_dir: Optional[Any] = None,
+    executor: Any = None,
+    queue_dir: Any = None,
 ) -> Any:
     """Run a scenario end to end and return its assembled figure data.
 
@@ -2180,8 +2182,12 @@ def run_scenario(
     and repopulates, ``"off"`` (the library default — programmatic
     callers stay pure) touches no store.  ``cache_dir`` overrides the
     store directory (default ``.repro_results/`` or
-    ``$REPRO_RESULTS_DIR``).  A ``pool`` carries its own store, so both
-    are ignored when one is passed.
+    ``$REPRO_RESULTS_DIR``).  ``executor`` picks the cell-execution
+    backend (``"serial"``/``"pool"``/``"queue"`` or an
+    :class:`~repro.exec.Executor` instance — docs/ARCHITECTURE.md
+    § Executors) and ``queue_dir`` the queue backend's spool directory.
+    A ``pool`` carries its own store and backend, so all of these are
+    ignored when one is passed.
     """
     spec = prepare_scenario(scenario, scale=scale, seed=seed, overrides=overrides)
     cells = expand(spec)
@@ -2192,7 +2198,9 @@ def run_scenario(
             store = open_store(cache, cache_dir)
         except ValueError as error:
             raise ScenarioError(str(error)) from None
-        results = run_cells(cells, jobs, store=store)
+        results = run_cells(
+            cells, jobs, store=store, executor=executor, queue_dir=queue_dir
+        )
     return assemble_scenario(spec, cells, results)
 
 

@@ -257,6 +257,73 @@ class ResultStore:
             self.hits += 1
         return value
 
+    # -- the result-bus protocol (the repro.exec queue backend) --------
+    # These read/write by *raw key* and bypass the hit/miss counters:
+    # the queue coordinator polls the store as its result bus, and bus
+    # traffic must not inflate the cache accounting the CLI summary and
+    # the CI warm-pass gate report.
+    def contains(self, key: str) -> bool:
+        """Whether an object for ``key`` is on disk (one stat, no read)."""
+        return self._path(key).exists()
+
+    def fetch(self, key: str) -> Any:
+        """The value stored under raw ``key``, or :data:`MISS`.
+
+        Unlike :meth:`load` this ignores ``refresh`` and the counters —
+        it is the queue coordinator's collection read, not a cache
+        consult.  Corrupt entries degrade to :data:`MISS` as usual.
+        """
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.loads(zlib.decompress(handle.read()))
+        except FileNotFoundError:
+            return MISS
+        except Exception as error:
+            log.warning(
+                "result store: unreadable entry %s… (%s: %s)",
+                key[:12], type(error).__name__, error,
+            )
+            return MISS
+
+    def discard(self, key: str) -> bool:
+        """Drop the object stored under raw ``key`` (manifest untouched;
+        :meth:`entries` joins on the object file, so the entry vanishes).
+        Used by ``--refresh`` queue runs to stop a stale bus entry from
+        short-circuiting the recompute."""
+        try:
+            self._path(key).unlink()
+        except OSError:
+            return False
+        return True
+
+    def note(self, record: Dict[str, Any]) -> None:
+        """Append an *event* record (lease reclaim, speculative dispatch)
+        to the manifest.  Event records carry an ``event`` field and no
+        ``key``, so :meth:`entries` skips them; :meth:`events` reads
+        them back for accounting."""
+        entry = dict(record)
+        entry.setdefault("at", time.time())
+        entry.pop("key", None)  # never collide with object entries
+        with self._lock:
+            with open(self._manifest, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def events(self) -> List[Dict[str, Any]]:
+        """All event records :meth:`note` appended, in manifest order."""
+        try:
+            lines = self._manifest.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return []
+        out: List[Dict[str, Any]] = []
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn append from a killed process
+            if isinstance(entry, dict) and "event" in entry:
+                out.append(entry)
+        return out
+
     def put(
         self, cell: Any, value: Any, wall_ms: float = 0.0, status: str = "ok"
     ) -> str:

@@ -1,0 +1,48 @@
+"""Importable cell bodies for the executor tests.
+
+Pool workers and queue worker subprocesses resolve cell bodies by
+dotted path (``exec_cells:kill_self``), so the bodies the executor
+tests need — sleepers, crashers, self-killers — live in this plain
+module rather than inside a test file.  The tests directory rides on
+``sys.path`` in-process (pytest rootdir insertion) and is appended to
+``PYTHONPATH`` for the worker subprocesses the tests spawn.
+"""
+
+import os
+import signal
+import time
+from pathlib import Path
+
+
+def echo(x):
+    return x
+
+
+def sleepy(x, sleep_s=0.0, marker=None):
+    """Return ``x`` after ``sleep_s`` — instantly once ``marker`` exists.
+
+    Lets a test make the *first* attempt at a cell arbitrarily slow
+    (the straggler / doomed-worker attempt) while any re-dispatched
+    attempt, started after the test touches the marker, is fast.
+    """
+    if marker is None or not Path(marker).exists():
+        time.sleep(sleep_s)
+    return x
+
+
+def explode(message="boom"):
+    raise RuntimeError(message)
+
+
+def kill_self(marker=None, x=None):
+    """SIGKILL the executing process — once, if ``marker`` is given.
+
+    With a marker path the first attempt creates it and dies, so a
+    retry in a respawned worker survives and returns ``x``; without one
+    every attempt dies (the bounded-retry exhaustion case).
+    """
+    if marker is not None:
+        if Path(marker).exists():
+            return x
+        Path(marker).touch()
+    os.kill(os.getpid(), signal.SIGKILL)
